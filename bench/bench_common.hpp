@@ -1,0 +1,71 @@
+// Shared helpers for the figure/table benchmark binaries.
+//
+// Every bench prints (a) the paper series it reproduces, as a fixed-width
+// table, and (b) a short "shape" summary (who wins, by how much) that
+// EXPERIMENTS.md compares against the paper's reported results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/common/harness.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "core/cool.hpp"
+
+namespace cool::bench {
+
+/// Build a simulated-DASH runtime with `procs` processors.
+inline Runtime make_runtime(std::uint32_t procs, const sched::Policy& policy) {
+  SystemConfig sc;
+  sc.machine = topo::MachineConfig::dash(procs);
+  sc.policy = policy;
+  return Runtime(sc);
+}
+
+/// Standard option set for the figure benches.
+inline util::Options standard_options(const std::string& name,
+                                      const std::string& desc) {
+  util::Options opt(name, desc);
+  opt.add_int("max-procs", 32, "largest processor count in the sweep");
+  opt.add_int("procs", 32, "processor count for fixed-P experiments");
+  opt.add_flag("csv", "emit tables as CSV instead of aligned text");
+  return opt;
+}
+
+/// Print a result table honouring the --csv flag.
+inline void print_table(const util::Table& t, const util::Options& opt) {
+  const std::string s = opt.flag("csv") ? t.to_csv() : t.to_string();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+}
+
+/// One row of a cache-miss comparison table (Figures 7, 11, 15).
+inline void miss_row(util::Table& t, const std::string& label,
+                     const apps::RunResult& r) {
+  t.row()
+      .cell(label)
+      .cell(static_cast<double>(r.mem.accesses()) / 1e6, 2)
+      .cell(static_cast<double>(r.mem.misses()) / 1e3, 1)
+      .cell(apps::miss_rate(r.mem), 2)
+      .cell(100.0 * apps::local_fraction(r.mem), 1)
+      .cell(100.0 * (1.0 - apps::local_fraction(r.mem)), 1)
+      .cell(r.mem.invals_sent)
+      .cell(static_cast<double>(r.mem.latency_cycles) / 1e6, 1);
+}
+
+inline util::Table miss_table() {
+  return util::Table({"version", "accesses(M)", "misses(K)", "miss/1000",
+                      "local%", "remote%", "invals", "stall(Mcyc)"});
+}
+
+/// Percentage improvement of `better` over `worse` completion time.
+inline double improvement_pct(std::uint64_t worse_cycles,
+                              std::uint64_t better_cycles) {
+  if (better_cycles == 0) return 0.0;
+  return 100.0 * (static_cast<double>(worse_cycles) /
+                      static_cast<double>(better_cycles) -
+                  1.0);
+}
+
+}  // namespace cool::bench

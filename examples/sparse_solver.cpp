@@ -1,0 +1,58 @@
+// Sparse solver — the paper's Panel Cholesky scenario (§6.3) as an
+// application: factor a synthetic sparse SPD structure and show how the
+// Figure 13 affinity hints and panel distribution change the execution.
+//
+//   $ ./sparse_solver [--procs=32] [--panels=192]
+#include <cstdio>
+
+#include "apps/cholesky/panel.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+
+using namespace cool;
+using namespace cool::apps::cholesky;
+
+int main(int argc, char** argv) {
+  util::Options opt("sparse_solver", "sparse panel Cholesky factorization");
+  opt.add_int("procs", 32, "simulated processors");
+  opt.add_int("panels", 192, "panels in the synthetic structure");
+  if (!opt.parse(argc, argv)) return 0;
+
+  const auto procs = static_cast<std::uint32_t>(opt.get_int("procs"));
+  PanelConfig cfg;
+  cfg.n_panels = static_cast<int>(opt.get_int("panels"));
+
+  const double expect = panel_serial_checksum(cfg);
+  std::printf("factoring %d panels on %u processors (serial checksum %.0f)\n\n",
+              cfg.n_panels, procs, expect);
+
+  util::Table t({"strategy", "cycles(M)", "checksum-ok", "local-miss%",
+                 "steals", "tasks"});
+  for (PanelVariant v :
+       {PanelVariant::kBase, PanelVariant::kDistr, PanelVariant::kDistrAff,
+        PanelVariant::kDistrAffCluster}) {
+    PanelConfig c = cfg;
+    c.variant = v;
+    SystemConfig sc;
+    sc.machine = topo::MachineConfig::dash(procs);
+    sc.policy = panel_policy_for(v);
+    Runtime rt(sc);
+    const PanelResult r = run_panel(rt, c);
+    t.row()
+        .cell(panel_variant_name(v))
+        .cell(static_cast<double>(r.run.sim_cycles) / 1e6, 2)
+        .cell(r.checksum == expect ? "yes" : "NO")
+        .cell(r.run.mem.misses()
+                  ? 100.0 * static_cast<double>(r.run.mem.local_misses()) /
+                        static_cast<double>(r.run.mem.misses())
+                  : 0.0,
+              1)
+        .cell(r.run.sched.steals)
+        .cell(r.run.tasks);
+  }
+  t.print();
+  std::printf(
+      "\nEvery strategy computes the identical factor (integer-exact math);\n"
+      "the hints only decide where updates execute and where panels live.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Minimal command-line option parser for the benchmark and example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--flag` forms, with
+// typed accessors and automatic `--help` text. Unknown options are an error so
+// typos in experiment sweeps fail loudly instead of silently running the
+// default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cool::util {
+
+class Options {
+ public:
+  Options(std::string program, std::string description);
+
+  /// Declare options before parse().
+  void add_flag(const std::string& name, const std::string& help);
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) if --help was given.
+  /// Throws cool::util::Error on unknown options or malformed values.
+  bool parse(int argc, char** argv);
+
+  [[nodiscard]] bool flag(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kFlag, kInt, kDouble, kString };
+  struct Spec {
+    Kind kind;
+    std::string help;
+    std::string default_text;
+    bool set = false;
+    bool flag_value = false;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+  };
+
+  Spec& lookup(const std::string& name, Kind kind);
+  const Spec& lookup(const std::string& name, Kind kind) const;
+  void assign(const std::string& name, const std::string& value);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Spec> specs_;
+};
+
+}  // namespace cool::util

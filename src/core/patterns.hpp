@@ -1,0 +1,104 @@
+// Convenience parallel patterns over the COOL primitives.
+//
+//   Barrier       — SPLASH-style phase barrier: P parties arrive, everyone
+//                   proceeds together; reusable across phases.
+//   parallel_for  — spawn a blocked index range into a waitfor group with a
+//                   per-block affinity hint.
+#pragma once
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/ctx.hpp"
+#include "core/record.hpp"
+#include "core/sync.hpp"
+#include "core/taskfn.hpp"
+
+namespace cool {
+
+/// Reusable counting barrier. `parties` tasks call `co_await barrier.wait(c)`;
+/// the last arrival releases everyone and resets the barrier for the next
+/// phase.
+class Barrier {
+ public:
+  explicit Barrier(int parties) : parties_(parties) {
+    COOL_CHECK(parties >= 1, "barrier needs at least one party");
+  }
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  struct Awaiter {
+    Ctx& c;
+    Barrier& b;
+
+    bool await_ready() const noexcept { return false; }
+    bool await_suspend(TaskFn::Handle) {
+      TaskRecord* rec = c.record();
+      std::vector<TaskRecord*> wake;
+      bool suspend = false;
+      {
+        std::lock_guard g(b.m_);
+        if (b.arrived_ + 1 == b.parties_) {
+          // Last arrival: release the phase and reset for reuse.
+          b.arrived_ = 0;
+          while (sched::TaskDesc* d = b.waiters_.pop_front()) {
+            wake.push_back(TaskRecord::of(d));
+          }
+        } else {
+          ++b.arrived_;
+          rec->state = TaskState::kBlocked;
+          c.engine()->on_block(c);
+          b.waiters_.push_back(&rec->desc);
+          suspend = true;
+        }
+      }
+      for (TaskRecord* r : wake) c.engine()->unblock(r, &c);
+      return suspend;  // The last arrival continues immediately.
+    }
+    void await_resume() const noexcept {}
+  };
+
+  [[nodiscard]] Awaiter wait(Ctx& c) { return Awaiter{c, *this}; }
+
+  [[nodiscard]] int parties() const noexcept { return parties_; }
+  [[nodiscard]] int arrived() const {
+    std::lock_guard g(m_);
+    return arrived_;
+  }
+
+ private:
+  mutable std::mutex m_;
+  const int parties_;
+  int arrived_ = 0;
+  WaitList waiters_;
+};
+
+/// Spawn tasks covering [lo, hi) in blocks of `grain` into `group`.
+/// `make(b, e)` creates the TaskFn for block [b, e); `aff(b, e)` supplies its
+/// affinity hint.
+///
+/// The factory itself may be a capturing lambda, but the TaskFn it returns
+/// must come from a coroutine that receives all state as *arguments* — a
+/// capturing coroutine-lambda dangles once the lambda temporary dies (the
+/// frame stores a pointer to the lambda object, not copies of its captures).
+template <typename Factory, typename AffFn>
+void parallel_for(Ctx& c, TaskGroup& group, long lo, long hi, long grain,
+                  Factory&& make, AffFn&& aff) {
+  COOL_CHECK(grain >= 1, "parallel_for: grain must be positive");
+  for (long b = lo; b < hi; b += grain) {
+    const long e = std::min(hi, b + grain);
+    c.spawn(aff(b, e), group, make(b, e));
+  }
+}
+
+/// parallel_for without affinity hints.
+template <typename Factory>
+void parallel_for(Ctx& c, TaskGroup& group, long lo, long hi, long grain,
+                  Factory&& make) {
+  parallel_for(c, group, lo, hi, grain, std::forward<Factory>(make),
+               [](long, long) { return Affinity::none(); });
+}
+
+}  // namespace cool

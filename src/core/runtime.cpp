@@ -1,0 +1,188 @@
+#include "core/runtime.hpp"
+
+#include <sys/mman.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/bitops.hpp"
+#include "core/sync.hpp"
+
+namespace cool {
+
+Runtime::Runtime(SystemConfig cfg) : cfg_(cfg) {
+  cfg_.machine.validate();
+  if (cfg_.mode == SystemConfig::Mode::kSim) {
+    sim_ = std::make_unique<SimEngine>(cfg_.machine, cfg_.policy, cfg_.costs,
+                                       cfg_.trace);
+    eng_ = sim_.get();
+  } else {
+    thr_ = std::make_unique<ThreadEngine>(cfg_.machine, cfg_.policy);
+    eng_ = thr_.get();
+  }
+  // Reserve the allocation arena (lazily backed; pages materialise on touch).
+  void* mem = ::mmap(nullptr, cfg_.arena_bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  COOL_CHECK(mem != MAP_FAILED, "failed to reserve the runtime arena");
+  arena_ = static_cast<char*>(mem);
+  eng_->set_addr_base(reinterpret_cast<std::uint64_t>(arena_));
+}
+
+Runtime::~Runtime() {
+  // Engines (and any leftover task frames) die before the arena they use.
+  sim_.reset();
+  thr_.reset();
+  if (arena_ != nullptr) ::munmap(arena_, cfg_.arena_bytes);
+}
+
+void Runtime::run(TaskFn&& root) {
+  if (sim_) {
+    sim_->run(std::move(root));
+  } else {
+    thr_->run(std::move(root), cfg_.thread_timeout_ms);
+  }
+}
+
+void* Runtime::alloc_bytes(std::size_t bytes, std::int64_t home) {
+  COOL_CHECK(bytes > 0, "alloc_bytes: empty allocation");
+  const std::size_t page = cfg_.machine.page_bytes;
+  const std::size_t rounded = static_cast<std::size_t>(
+      util::align_up(bytes, page));
+  // Varying pad: a fixed pad still re-aligns with direct-mapped cache sets
+  // over long allocation sequences (k allocations x fixed stride can be a
+  // multiple of the cache size); cycling the pad length breaks the period.
+  const std::size_t max_pad = std::max<std::size_t>(1, cfg_.alloc_stagger_pages);
+  const std::size_t stagger = page * (1 + (n_allocs_ * 5) % max_pad);
+  ++n_allocs_;
+  COOL_CHECK(arena_used_ + rounded + stagger <= cfg_.arena_bytes,
+             "runtime arena exhausted — raise SystemConfig::arena_bytes");
+  void* p = arena_ + arena_used_;
+  arena_used_ += rounded + stagger;
+  if (home >= 0) {
+    const auto target = static_cast<topo::ProcId>(
+        static_cast<std::uint64_t>(home) % cfg_.machine.n_procs);
+    eng_->bind_range(reinterpret_cast<std::uint64_t>(p), rounded, target);
+  }
+  return p;
+}
+
+void Runtime::migrate(const void* p, std::int64_t target, std::size_t bytes) {
+  COOL_CHECK(p != nullptr, "migrate: null pointer");
+  const auto t = static_cast<topo::ProcId>(
+      static_cast<std::uint64_t>(target < 0 ? 0 : target) %
+      cfg_.machine.n_procs);
+  eng_->bind_range(reinterpret_cast<std::uint64_t>(p),
+                   bytes == 0 ? 1 : bytes, t);
+}
+
+topo::ProcId Runtime::home(const void* p) {
+  return eng_->home(reinterpret_cast<std::uint64_t>(p), 0);
+}
+
+std::uint64_t Runtime::sim_time() const {
+  return sim_ ? sim_->finish_time() : 0;
+}
+
+const mem::PerfMonitor* Runtime::monitor() const {
+  return sim_ ? &sim_->memsys().monitor() : nullptr;
+}
+
+const sched::SchedStats& Runtime::sched_stats() const {
+  return sim_ ? sim_->scheduler().stats() : thr_->scheduler().stats();
+}
+
+std::vector<ProcUtil> Runtime::utilization() const {
+  return sim_ ? sim_->utilization() : std::vector<ProcUtil>(cfg_.machine.n_procs);
+}
+
+std::uint64_t Runtime::tasks_completed() const {
+  return sim_ ? sim_->tasks_completed() : thr_->tasks_completed();
+}
+
+const std::vector<TraceEvent>& Runtime::trace() const {
+  static const std::vector<TraceEvent> kEmpty;
+  return sim_ ? sim_->trace() : kEmpty;
+}
+
+std::string Runtime::report() const {
+  char buf[256];
+  std::string out;
+  auto line = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    out += buf;
+    out += '\n';
+  };
+  line("engine: %s, %u processors (%u clusters)",
+       sim_ ? "simulated DASH" : "threads", cfg_.machine.n_procs,
+       cfg_.machine.n_clusters());
+  line("tasks completed: %llu",
+       static_cast<unsigned long long>(tasks_completed()));
+  const auto& ss = sched_stats();
+  line("scheduler: %llu spawned, %llu stolen (%llu whole sets, %llu remote-cluster)",
+       static_cast<unsigned long long>(ss.spawned),
+       static_cast<unsigned long long>(ss.tasks_stolen),
+       static_cast<unsigned long long>(ss.set_steals),
+       static_cast<unsigned long long>(ss.remote_cluster_steals));
+  if (sim_) {
+    line("simulated time: %llu cycles",
+         static_cast<unsigned long long>(sim_time()));
+    const auto mem = monitor()->total();
+    line("memory: %llu accesses, %llu misses (%.1f/1000), %.1f%% local service,"
+         " %llu invalidations, %llu prefetched lines",
+         static_cast<unsigned long long>(mem.accesses()),
+         static_cast<unsigned long long>(mem.misses()),
+         mem.accesses() ? 1000.0 * static_cast<double>(mem.misses()) /
+                              static_cast<double>(mem.accesses())
+                        : 0.0,
+         mem.misses() ? 100.0 * static_cast<double>(mem.local_misses()) /
+                            static_cast<double>(mem.misses())
+                      : 0.0,
+         static_cast<unsigned long long>(mem.invals_sent),
+         static_cast<unsigned long long>(mem.prefetches));
+    const auto util = utilization();
+    std::uint64_t busy = 0;
+    std::uint64_t max_busy = 0;
+    for (const auto& u : util) {
+      busy += u.busy;
+      max_busy = std::max(max_busy, u.busy);
+    }
+    const double avg =
+        static_cast<double>(busy) / static_cast<double>(util.size());
+    line("load balance: avg busy %.1f%% of span, max/avg %.2f",
+         sim_time() ? 100.0 * avg / static_cast<double>(sim_time()) : 0.0,
+         avg > 0.0 ? static_cast<double>(max_busy) / avg : 0.0);
+  }
+  return out;
+}
+
+// --- Ctx spawn glue ----------------------------------------------------------
+
+void Ctx::spawn(const Affinity& aff, TaskGroup& group, TaskFn&& fn) {
+  COOL_CHECK(fn.valid(), "spawn of empty TaskFn");
+  auto* rec = new TaskRecord;
+  rec->handle = fn.release();
+  rec->desc.aff = aff;
+  rec->group = &group;
+  group.add_task();
+  eng_->spawn_record(rec, this);
+}
+
+void Ctx::spawn(const Affinity& aff, TaskFn&& fn) {
+  COOL_CHECK(fn.valid(), "spawn of empty TaskFn");
+  auto* rec = new TaskRecord;
+  rec->handle = fn.release();
+  rec->desc.aff = aff;
+  eng_->spawn_record(rec, this);
+}
+
+std::uint64_t Ctx::migrate(const void* p, std::int64_t target,
+                           std::size_t bytes) {
+  COOL_CHECK(p != nullptr, "migrate: null pointer");
+  // Paper semantics: the processor number is taken modulo the number of
+  // server processes.
+  return eng_->migrate(*this, reinterpret_cast<std::uint64_t>(p),
+                       bytes == 0 ? 1 : bytes, eng_->resolve_proc(target));
+}
+
+}  // namespace cool

@@ -1,0 +1,112 @@
+// cool::Runtime — the public entry point of the library.
+//
+// Construct one with a SystemConfig (execution mode, machine description,
+// scheduling policy, cost model), allocate your shared objects through it so
+// the page map knows their homes, then `run()` a root task. All figures in
+// the paper are produced with Mode::kSim (the DASH model); Mode::kThreads
+// executes the identical program on real threads for functional testing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/costs.hpp"
+#include "core/sim_engine.hpp"
+#include "core/taskfn.hpp"
+#include "core/thread_engine.hpp"
+#include "sched/scheduler.hpp"
+#include "topology/machine.hpp"
+
+namespace cool {
+
+struct SystemConfig {
+  enum class Mode { kSim, kThreads };
+  Mode mode = Mode::kSim;
+  topo::MachineConfig machine = topo::MachineConfig::dash();
+  sched::Policy policy;
+  CostModel costs;
+  std::uint64_t thread_timeout_ms = 60000;  ///< kThreads deadlock guard.
+  bool trace = false;  ///< Record per-span TraceEvents (kSim only).
+  /// Size of the runtime's allocation arena (virtual memory, touched lazily).
+  /// Allocations are bump-allocated from it so simulated addresses are
+  /// arena-relative and every run is bit-reproducible.
+  std::size_t arena_bytes = 1ull << 30;
+  /// Maximum pages of padding inserted between consecutive allocations (the
+  /// actual pad cycles deterministically through 1..alloc_stagger_pages).
+  /// Without varying padding, a bump allocator hands out power-of-two (or
+  /// long-range periodic) strides and corresponding pieces of different
+  /// arrays collide pathologically in the direct-mapped DASH caches; SPLASH
+  /// codes padded their arrays for the same reason.
+  std::size_t alloc_stagger_pages = 13;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(SystemConfig cfg);
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Execute `root` and everything it spawns to completion. May be called
+  /// repeatedly (clocks and counters accumulate) — but not after a run threw
+  /// (deadlock / task exception): tasks left blocked by the failed run would
+  /// make every later run appear deadlocked. Build a fresh Runtime instead.
+  void run(TaskFn&& root);
+
+  /// Allocate a zero-initialised array of `n` T, page-aligned so its pages
+  /// belong to this object alone. `home >= 0` binds the pages to that
+  /// processor's local memory (COOL's placed `new`, modulo n_procs);
+  /// `home < 0` leaves them to first-touch. Freed when the Runtime dies.
+  template <typename T>
+  T* alloc_array(std::size_t n, std::int64_t home = -1) {
+    return static_cast<T*>(alloc_bytes(n * sizeof(T), home));
+  }
+
+  /// Untyped variant of alloc_array. NOT safe to call from tasks running
+  /// under the threads engine (the arena bump pointer is unsynchronised);
+  /// allocate before run(), as every bundled application does.
+  void* alloc_bytes(std::size_t bytes, std::int64_t home = -1);
+
+  /// Setup-time migrate (no cycle charge): rebind the pages spanned by
+  /// [p, p+bytes) to `target % n_procs`.
+  void migrate(const void* p, std::int64_t target, std::size_t bytes);
+
+  /// Home processor of `p` (first-touch binds to processor 0).
+  topo::ProcId home(const void* p);
+
+  // --- results & instrumentation ------------------------------------------
+  /// Parallel completion time in simulated cycles (kSim; 0 under kThreads).
+  [[nodiscard]] std::uint64_t sim_time() const;
+  /// DASH performance-monitor counters (null under kThreads).
+  [[nodiscard]] const mem::PerfMonitor* monitor() const;
+  [[nodiscard]] const sched::SchedStats& sched_stats() const;
+  [[nodiscard]] std::vector<ProcUtil> utilization() const;
+  [[nodiscard]] std::uint64_t tasks_completed() const;
+  /// Execution trace (empty unless SystemConfig::trace and Mode::kSim).
+  [[nodiscard]] const std::vector<TraceEvent>& trace() const;
+
+  /// Human-readable post-run summary: completion time, task counts,
+  /// scheduler activity, memory-system behaviour, and load balance.
+  [[nodiscard]] std::string report() const;
+  [[nodiscard]] const topo::MachineConfig& machine() const noexcept {
+    return cfg_.machine;
+  }
+  [[nodiscard]] const SystemConfig& config() const noexcept { return cfg_; }
+
+  [[nodiscard]] Engine& engine() noexcept { return *eng_; }
+  /// Simulation back-end access (null under kThreads).
+  [[nodiscard]] SimEngine* sim() noexcept { return sim_.get(); }
+
+ private:
+  SystemConfig cfg_;
+  std::unique_ptr<SimEngine> sim_;
+  std::unique_ptr<ThreadEngine> thr_;
+  Engine* eng_ = nullptr;
+  char* arena_ = nullptr;       ///< mmap'd allocation arena.
+  std::size_t arena_used_ = 0;  ///< Bump pointer (page multiples).
+  std::size_t n_allocs_ = 0;    ///< Drives the varying inter-allocation pad.
+};
+
+}  // namespace cool

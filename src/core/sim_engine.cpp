@@ -1,0 +1,262 @@
+#include "core/sim_engine.hpp"
+
+#include <algorithm>
+
+#include "core/sync.hpp"
+
+namespace cool {
+
+SimEngine::SimEngine(const topo::MachineConfig& machine,
+                     const sched::Policy& policy, const CostModel& costs,
+                     bool trace_enabled)
+    : machine_(machine),
+      costs_(costs),
+      mem_(machine_),
+      sched_(machine_, policy,
+             [this](std::uint64_t addr, topo::ProcId toucher) {
+               return mem_.home_of(tr(addr), toucher);
+             }),
+      procs_(machine_.n_procs),
+      util_(machine_.n_procs),
+      trace_enabled_(trace_enabled) {}
+
+SimEngine::~SimEngine() {
+  for (TaskRecord* rec : live_recs_) destroy_record(rec);
+}
+
+void SimEngine::destroy_record(TaskRecord* rec) {
+  if (rec->handle) rec->handle.destroy();
+  rec->handle = {};
+  delete rec;
+}
+
+void SimEngine::reinsert(topo::ProcId p) {
+  runq_.insert({procs_[p].clock, p});
+}
+
+void SimEngine::park(topo::ProcId p) { procs_[p].parked = true; }
+
+void SimEngine::wake_parked() {
+  for (std::uint32_t p = 0; p < machine_.n_procs; ++p) {
+    if (procs_[p].parked) {
+      procs_[p].parked = false;
+      reinsert(p);
+    }
+  }
+}
+
+// --- Engine interface -------------------------------------------------------
+
+void SimEngine::mem_access(Ctx& c, std::uint64_t addr, std::uint64_t bytes,
+                           bool is_write) {
+  Proc& pr = procs_[c.proc_];
+  pr.clock += mem_.access(c.proc_, tr(addr), bytes, is_write, pr.clock);
+}
+
+void SimEngine::work(Ctx& c, std::uint64_t cycles) {
+  procs_[c.proc_].clock += cycles;
+}
+
+void SimEngine::charge(Ctx& c, std::uint64_t cycles) {
+  procs_[c.proc_].clock += cycles;
+  util_[c.proc_].sched += cycles;
+}
+
+std::uint64_t SimEngine::now(const Ctx& c) const { return procs_[c.proc_].clock; }
+
+std::uint64_t SimEngine::migrate(Ctx& c, std::uint64_t addr,
+                                 std::uint64_t bytes, topo::ProcId target) {
+  const std::uint64_t cost = mem_.migrate(c.proc_, tr(addr), bytes, target);
+  procs_[c.proc_].clock += cost;
+  return cost;
+}
+
+topo::ProcId SimEngine::home(std::uint64_t addr, topo::ProcId toucher) {
+  return mem_.home_of(tr(addr), toucher);
+}
+
+void SimEngine::spawn_record(TaskRecord* rec, Ctx* spawner) {
+  rec->desc.seq = ++seq_;
+  topo::ProcId from = 0;
+  if (spawner != nullptr) {
+    charge(*spawner, costs_.spawn);
+    from = spawner->proc_;
+    rec->desc.ready_time = procs_[from].clock;
+  } else {
+    rec->desc.ready_time = 0;
+  }
+  live_recs_.insert(rec);
+  ++live_;
+  sched_.place(&rec->desc, from);
+  wake_parked();
+}
+
+void SimEngine::unblock(TaskRecord* rec, Ctx* unblocker) {
+  rec->state = TaskState::kReady;
+  if (unblocker != nullptr) {
+    rec->desc.ready_time =
+        std::max(rec->desc.ready_time, procs_[unblocker->proc_].clock);
+  }
+  sched_.enqueue_resumed(&rec->desc);
+  wake_parked();
+}
+
+void SimEngine::on_complete(Ctx& c) { disp_ = Disposition::kCompleted; (void)c; }
+
+void SimEngine::on_block(Ctx& c) {
+  disp_ = Disposition::kBlocked;
+  // Stamp the block time; unblock() takes the max with the waker's clock.
+  c.rec_->desc.ready_time = procs_[c.proc_].clock;
+}
+
+void SimEngine::on_yield(Ctx& c) {
+  disp_ = Disposition::kYielded;
+  c.rec_->desc.ready_time = procs_[c.proc_].clock;
+}
+
+void SimEngine::bind_range(std::uint64_t addr, std::uint64_t bytes,
+                           topo::ProcId home_proc) {
+  mem_.bind_range(tr(addr), bytes, home_proc);
+}
+
+// --- Simulation loop --------------------------------------------------------
+
+void SimEngine::step(topo::ProcId p) {
+  Proc& pr = procs_[p];
+  if (pr.current == nullptr) {
+    const auto acq = sched_.acquire(p);
+    if (acq.task == nullptr) {
+      park(p);
+      return;
+    }
+    std::uint64_t overhead = costs_.dispatch;
+    if (acq.stolen) {
+      overhead = acq.stolen_remote_cluster ? costs_.steal_remote
+                                           : costs_.steal_local;
+      ++util_[p].steals;
+    }
+    pr.clock += overhead;
+    util_[p].sched += overhead;
+    TaskRecord* rec = TaskRecord::of(acq.task);
+    if (sched_.policy().prefetch_objects && rec->desc.aff.has_multi()) {
+      // Paper §8: prefetch the task's affinity objects at dispatch; the
+      // fetches overlap execution, so only a per-line issue cost is charged.
+      for (int i = 0; i < rec->desc.aff.n_objs; ++i) {
+        const auto& obj = rec->desc.aff.objs[i];
+        const std::uint64_t lines =
+            mem_.prefetch(p, tr(obj.addr), obj.bytes, pr.clock);
+        // 4 cycles per issued prefetch; the fills themselves overlap with
+        // execution (an idealised but bandwidth-consuming prefetch model).
+        pr.clock += lines * 4;
+        util_[p].sched += lines * 4;
+      }
+    }
+    if (rec->desc.ready_time > pr.clock) {
+      util_[p].idle += rec->desc.ready_time - pr.clock;
+      pr.clock = rec->desc.ready_time;
+    }
+    pr.current = rec;
+  }
+
+  TaskRecord* rec = pr.current;
+  rec->ctx.eng_ = this;
+  rec->ctx.proc_ = p;
+  rec->ctx.rec_ = rec;
+  rec->handle.promise().ctx = &rec->ctx;
+  rec->state = TaskState::kRunning;
+  disp_ = Disposition::kNone;
+
+  const std::uint64_t t0 = pr.clock;
+  const std::uint64_t task_seq = rec->desc.seq;
+  const bool was_stolen = rec->desc.stolen;
+  rec->handle.resume();
+  util_[p].busy += pr.clock - t0;
+  if (trace_enabled_) {
+    TraceEvent ev;
+    ev.task_seq = task_seq;
+    ev.proc = p;
+    ev.start = t0;
+    ev.end = pr.clock;
+    ev.stolen = was_stolen;
+    ev.how = disp_ == Disposition::kCompleted ? TraceEvent::End::kCompleted
+             : disp_ == Disposition::kBlocked ? TraceEvent::End::kBlocked
+                                              : TraceEvent::End::kYielded;
+    trace_.push_back(ev);
+  }
+
+  switch (disp_) {
+    case Disposition::kCompleted: {
+      pr.clock += costs_.complete;
+      util_[p].sched += costs_.complete;
+      if (rec->handle.promise().exn && !err_) {
+        err_ = rec->handle.promise().exn;
+      }
+      TaskGroup* grp = rec->group;
+      if (grp != nullptr) grp->task_done(rec->ctx);
+      live_recs_.erase(rec);
+      destroy_record(rec);
+      --live_;
+      ++tasks_completed_;
+      ++util_[p].tasks;
+      pr.current = nullptr;
+      break;
+    }
+    case Disposition::kBlocked:
+      // The record now belongs to the structure it blocked on (it may even
+      // have been unblocked already and be queued elsewhere): hands off.
+      pr.current = nullptr;
+      break;
+    case Disposition::kYielded:
+      rec->state = TaskState::kReady;
+      sched_.enqueue_yielded(&rec->desc);
+      wake_parked();
+      pr.current = nullptr;
+      break;
+    case Disposition::kNone:
+      COOL_CHECK(false, "task suspended without reporting a disposition");
+  }
+  reinsert(p);
+}
+
+void SimEngine::run(TaskFn&& root) {
+  COOL_CHECK(!running_, "SimEngine::run is not reentrant");
+  COOL_CHECK(root.valid(), "run of empty TaskFn");
+  running_ = true;
+
+  auto* rec = new TaskRecord;
+  rec->handle = root.release();
+  rec->desc.aff = Affinity::none();
+  spawn_record(rec, nullptr);
+
+  for (std::uint32_t p = 0; p < machine_.n_procs; ++p) {
+    procs_[p].parked = false;
+    reinsert(p);
+  }
+
+  while (live_ > 0 && !err_) {
+    if (runq_.empty()) {
+      running_ = false;
+      throw util::Error(
+          "deadlock: tasks remain blocked but no processor can make progress");
+    }
+    const auto [t, p] = *runq_.begin();
+    runq_.erase(runq_.begin());
+    step(static_cast<topo::ProcId>(p));
+  }
+
+  finish_time_ = 0;
+  for (const Proc& pr : procs_) finish_time_ = std::max(finish_time_, pr.clock);
+  runq_.clear();
+  for (auto& pr : procs_) {
+    pr.current = nullptr;
+    pr.parked = false;
+  }
+  running_ = false;
+  if (err_) {
+    auto e = err_;
+    err_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace cool

@@ -1,0 +1,77 @@
+#include "core/sync.hpp"
+
+namespace cool {
+
+void Mutex::unlock(Ctx& c) {
+  c.engine()->charge(c, c.engine()->costs().mutex_release);
+  TaskRecord* next = nullptr;
+  {
+    std::lock_guard g(m_);
+    COOL_CHECK(held_, "unlock of an unheld mutex");
+    if (sched::TaskDesc* d = waiters_.pop_front()) {
+      next = TaskRecord::of(d);
+      holder_ = next;  // Direct FIFO handoff: no barging, deterministic.
+    } else {
+      held_ = false;
+      holder_ = nullptr;
+    }
+  }
+  if (next != nullptr) c.engine()->unblock(next, &c);
+}
+
+void TaskGroup::task_done(Ctx& completer) {
+  std::vector<TaskRecord*> to_wake;
+  {
+    std::lock_guard g(m_);
+    COOL_CHECK(outstanding_ > 0, "task_done without outstanding tasks");
+    if (--outstanding_ != 0) return;
+    while (sched::TaskDesc* d = waiters_.pop_front()) {
+      to_wake.push_back(TaskRecord::of(d));
+    }
+  }
+  for (TaskRecord* rec : to_wake) completer.engine()->unblock(rec, &completer);
+}
+
+void Cond::wake(Ctx& c, TaskRecord* rec) {
+  Mutex* mu = rec->reacquire;
+  COOL_CHECK(mu != nullptr, "cond waiter lost its monitor mutex");
+  rec->reacquire = nullptr;
+  bool acquired = false;
+  {
+    std::lock_guard g(mu->m_);
+    if (!mu->held_) {
+      mu->held_ = true;
+      mu->holder_ = rec;
+      acquired = true;
+    } else {
+      // Monitor still busy: queue on the mutex; the eventual unlock hands it
+      // off and unblocks the task then.
+      mu->waiters_.push_back(&rec->desc);
+    }
+  }
+  if (acquired) c.engine()->unblock(rec, &c);
+}
+
+void Cond::signal(Ctx& c) {
+  c.engine()->charge(c, c.engine()->costs().cond_op);
+  TaskRecord* rec = nullptr;
+  {
+    std::lock_guard g(m_);
+    if (sched::TaskDesc* d = waiters_.pop_front()) rec = TaskRecord::of(d);
+  }
+  if (rec != nullptr) wake(c, rec);
+}
+
+void Cond::broadcast(Ctx& c) {
+  c.engine()->charge(c, c.engine()->costs().cond_op);
+  std::vector<TaskRecord*> recs;
+  {
+    std::lock_guard g(m_);
+    while (sched::TaskDesc* d = waiters_.pop_front()) {
+      recs.push_back(TaskRecord::of(d));
+    }
+  }
+  for (TaskRecord* rec : recs) wake(c, rec);
+}
+
+}  // namespace cool

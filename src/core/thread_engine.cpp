@@ -1,0 +1,184 @@
+#include "core/thread_engine.hpp"
+
+#include <chrono>
+
+#include "core/sync.hpp"
+
+namespace cool {
+
+ThreadEngine::ThreadEngine(const topo::MachineConfig& machine,
+                           const sched::Policy& policy)
+    : machine_(machine),
+      pages_(machine_),
+      sched_(machine_, policy,
+             [this](std::uint64_t addr, topo::ProcId toucher) {
+               // Callers already hold big_ (placement happens inside it).
+               return pages_.home_of(addr, toucher);
+             }),
+      disp_(machine_.n_procs, Disposition::kNone) {
+  machine_.validate();
+}
+
+ThreadEngine::~ThreadEngine() {
+  for (TaskRecord* rec : live_recs_) {
+    if (rec->handle) rec->handle.destroy();
+    delete rec;
+  }
+}
+
+std::uint64_t ThreadEngine::migrate(Ctx&, std::uint64_t addr,
+                                    std::uint64_t bytes, topo::ProcId target) {
+  std::lock_guard g(big_);
+  pages_.bind_range(addr, bytes, target);
+  return 0;
+}
+
+topo::ProcId ThreadEngine::home(std::uint64_t addr, topo::ProcId toucher) {
+  std::lock_guard g(big_);
+  return pages_.home_of(addr, toucher);
+}
+
+void ThreadEngine::bind_range(std::uint64_t addr, std::uint64_t bytes,
+                              topo::ProcId home_proc) {
+  std::lock_guard g(big_);
+  pages_.bind_range(addr, bytes, home_proc);
+}
+
+void ThreadEngine::spawn_record(TaskRecord* rec, Ctx* spawner) {
+  const topo::ProcId from = spawner != nullptr ? spawner->proc_ : 0;
+  live_.fetch_add(1);
+  {
+    std::lock_guard g(big_);
+    live_recs_.insert(rec);
+    sched_.place(&rec->desc, from);
+    ++work_epoch_;
+  }
+  work_cv_.notify_all();
+}
+
+void ThreadEngine::unblock(TaskRecord* rec, Ctx*) {
+  rec->state = TaskState::kReady;
+  {
+    std::lock_guard g(big_);
+    sched_.enqueue_resumed(&rec->desc);
+    ++work_epoch_;
+  }
+  work_cv_.notify_all();
+}
+
+void ThreadEngine::on_complete(Ctx& c) { disp_[c.proc_] = Disposition::kCompleted; }
+void ThreadEngine::on_block(Ctx& c) { disp_[c.proc_] = Disposition::kBlocked; }
+void ThreadEngine::on_yield(Ctx& c) { disp_[c.proc_] = Disposition::kYielded; }
+
+void ThreadEngine::execute(topo::ProcId id, TaskRecord* rec) {
+  rec->ctx.eng_ = this;
+  rec->ctx.proc_ = id;
+  rec->ctx.rec_ = rec;
+  rec->handle.promise().ctx = &rec->ctx;
+  rec->state = TaskState::kRunning;
+  disp_[id] = Disposition::kNone;
+
+  rec->handle.resume();
+
+  switch (disp_[id]) {
+    case Disposition::kCompleted: {
+      if (rec->handle.promise().exn) {
+        std::lock_guard g(err_m_);
+        if (!err_) err_ = rec->handle.promise().exn;
+      }
+      TaskGroup* grp = rec->group;
+      if (grp != nullptr) grp->task_done(rec->ctx);
+      {
+        std::lock_guard g(big_);
+        live_recs_.erase(rec);
+      }
+      rec->handle.destroy();
+      delete rec;
+      tasks_completed_.fetch_add(1);
+      if (live_.fetch_sub(1) == 1) {
+        done_cv_.notify_all();
+        work_cv_.notify_all();
+      }
+      break;
+    }
+    case Disposition::kBlocked:
+      // Hands off — the record may already be running on another worker.
+      break;
+    case Disposition::kYielded:
+      rec->state = TaskState::kReady;
+      {
+        std::lock_guard g(big_);
+        sched_.enqueue_yielded(&rec->desc);
+        ++work_epoch_;
+      }
+      work_cv_.notify_all();
+      break;
+    case Disposition::kNone:
+      COOL_CHECK(false, "task suspended without reporting a disposition");
+  }
+}
+
+void ThreadEngine::worker_loop(topo::ProcId id) {
+  for (;;) {
+    TaskRecord* rec = nullptr;
+    {
+      std::unique_lock l(big_);
+      for (;;) {
+        if (stop_ || live_.load() == 0) return;
+        const std::uint64_t epoch = work_epoch_;
+        const auto acq = sched_.acquire(id);
+        if (acq.task != nullptr) {
+          rec = TaskRecord::of(acq.task);
+          break;
+        }
+        // Nothing this worker may run right now (queued tasks can be pinned
+        // to other servers): sleep until new work appears anywhere.
+        work_cv_.wait(l, [&] {
+          return stop_ || live_.load() == 0 || work_epoch_ != epoch;
+        });
+      }
+    }
+    execute(id, rec);
+  }
+}
+
+void ThreadEngine::run(TaskFn&& root, std::uint64_t timeout_ms) {
+  COOL_CHECK(root.valid(), "run of empty TaskFn");
+  {
+    std::lock_guard g(big_);
+    stop_ = false;
+  }
+
+  auto* rec = new TaskRecord;
+  rec->handle = root.release();
+  rec->desc.aff = Affinity::none();
+  spawn_record(rec, nullptr);
+
+  std::vector<std::thread> workers;
+  workers.reserve(machine_.n_procs);
+  for (std::uint32_t p = 0; p < machine_.n_procs; ++p) {
+    workers.emplace_back([this, p] { worker_loop(static_cast<topo::ProcId>(p)); });
+  }
+
+  bool finished = false;
+  {
+    std::unique_lock l(big_);
+    finished = done_cv_.wait_for(l, std::chrono::milliseconds(timeout_ms),
+                                 [&] { return live_.load() == 0; });
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers) w.join();
+
+  std::exception_ptr e;
+  {
+    std::lock_guard g(err_m_);
+    e = err_;
+    err_ = nullptr;
+  }
+  if (e) std::rethrow_exception(e);
+  COOL_CHECK(finished,
+             "thread-engine run timed out (likely deadlock or livelock)");
+}
+
+}  // namespace cool

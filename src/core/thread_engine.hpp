@@ -1,0 +1,96 @@
+// ThreadEngine — executes COOL tasks on real OS threads (one worker per
+// simulated server) over the same scheduler structure as the simulation.
+//
+// Purpose: functional and concurrency validation of the programming model
+// (spawn/waitfor/mutex/cond semantics race for real here), and a base for
+// running on an actual NUMA machine. There is no timing model: read/write/
+// work are no-ops, now() is 0, and migrate()/home() only update the page map
+// so affinity placement still works.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "core/costs.hpp"
+#include "core/engine.hpp"
+#include "core/record.hpp"
+#include "core/taskfn.hpp"
+#include "memsim/pagemap.hpp"
+#include "sched/scheduler.hpp"
+#include "topology/machine.hpp"
+
+namespace cool {
+
+class ThreadEngine final : public Engine {
+ public:
+  ThreadEngine(const topo::MachineConfig& machine, const sched::Policy& policy);
+  ~ThreadEngine() override;
+
+  /// Drive `root` to completion using n_procs worker threads. Throws the
+  /// first task exception, or on timeout (likely deadlock).
+  void run(TaskFn&& root, std::uint64_t timeout_ms = 60000);
+
+  sched::Scheduler& scheduler() noexcept { return sched_; }
+  [[nodiscard]] std::uint64_t tasks_completed() const noexcept {
+    return tasks_completed_.load();
+  }
+
+  // --- Engine interface ----------------------------------------------------
+  void mem_access(Ctx&, std::uint64_t, std::uint64_t, bool) override {}
+  void work(Ctx&, std::uint64_t) override {}
+  void charge(Ctx&, std::uint64_t) override {}
+  [[nodiscard]] const CostModel& costs() const override {
+    static const CostModel kDefault;
+    return kDefault;
+  }
+  [[nodiscard]] std::uint64_t now(const Ctx&) const override { return 0; }
+  std::uint64_t migrate(Ctx& c, std::uint64_t addr, std::uint64_t bytes,
+                        topo::ProcId target) override;
+  topo::ProcId home(std::uint64_t addr, topo::ProcId toucher) override;
+  [[nodiscard]] topo::ProcId resolve_proc(std::int64_t n) const override {
+    return static_cast<topo::ProcId>(
+        static_cast<std::uint64_t>(n < 0 ? 0 : n) % machine_.n_procs);
+  }
+  void spawn_record(TaskRecord* rec, Ctx* spawner) override;
+  void unblock(TaskRecord* rec, Ctx* unblocker) override;
+  void on_complete(Ctx& c) override;
+  void on_block(Ctx& c) override;
+  void on_yield(Ctx& c) override;
+  void bind_range(std::uint64_t addr, std::uint64_t bytes,
+                  topo::ProcId home_proc) override;
+
+ private:
+  enum class Disposition : std::uint8_t { kNone, kCompleted, kBlocked, kYielded };
+
+  void worker_loop(topo::ProcId id);
+  void execute(topo::ProcId id, TaskRecord* rec);
+
+  topo::MachineConfig machine_;
+  mem::PageMap pages_;
+
+  std::mutex big_;  ///< Guards sched_, pages_, live_recs_ and stop_.
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  sched::Scheduler sched_;
+  std::unordered_set<TaskRecord*> live_recs_;
+  bool stop_ = false;
+  /// Bumped (under big_) whenever work is enqueued anywhere. Workers that
+  /// fail to acquire wait for the epoch to change — a worker must not spin on
+  /// "some queue is non-empty" because the queued task may be pinned to a
+  /// different server.
+  std::uint64_t work_epoch_ = 0;
+
+  std::atomic<std::uint64_t> live_{0};
+  std::atomic<std::uint64_t> tasks_completed_{0};
+  std::vector<Disposition> disp_;  ///< Per worker; touched only by that worker.
+  std::mutex err_m_;
+  std::exception_ptr err_;
+};
+
+}  // namespace cool

@@ -1,0 +1,39 @@
+// Execution tracing for the simulation engine.
+//
+// When SystemConfig::trace is set, the engine records one span per task
+// resume (which processor ran which task, over which simulated interval, and
+// how the span ended). The report renderer turns the spans into a per-
+// processor utilisation table and a coarse ASCII timeline — handy for seeing
+// exactly how an affinity hint changed the schedule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/machine.hpp"
+
+namespace cool {
+
+struct TraceEvent {
+  enum class End : std::uint8_t {
+    kCompleted,  ///< Task finished.
+    kBlocked,    ///< Suspended on a mutex/cond/group.
+    kYielded,    ///< Gave up the processor voluntarily.
+  };
+
+  std::uint64_t task_seq = 0;  ///< Scheduler-assigned spawn sequence number.
+  topo::ProcId proc = 0;
+  std::uint64_t start = 0;  ///< Simulated cycle the span began.
+  std::uint64_t end = 0;    ///< Simulated cycle the span ended.
+  bool stolen = false;      ///< The task was acquired by stealing.
+  End how = End::kCompleted;
+};
+
+/// Render per-processor spans/busy statistics plus an ASCII timeline with
+/// `width` columns ('#' ≥75% busy, '+' ≥25%, '.' >0, ' ' idle).
+std::string render_trace_report(const std::vector<TraceEvent>& events,
+                                std::uint32_t n_procs, std::uint64_t finish,
+                                int width = 64);
+
+}  // namespace cool

@@ -1,0 +1,130 @@
+#include "sched/queues.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cool::sched {
+
+ServerQueues::ServerQueues(std::size_t affinity_array_size)
+    : slots_(affinity_array_size) {
+  COOL_CHECK(affinity_array_size >= 1, "affinity array needs at least one slot");
+}
+
+void ServerQueues::on_slot_push(AffSlot& slot) {
+  if (!slot.hook.is_linked()) nonempty_.push_back(&slot);
+}
+
+void ServerQueues::on_slot_pop(AffSlot& slot) {
+  if (slot.tasks.empty()) {
+    slot.hook.unlink();
+    if (active_ == &slot) active_ = nullptr;
+  }
+}
+
+void ServerQueues::push(TaskDesc* t) {
+  COOL_DCHECK(t != nullptr, "null task");
+  if (t->aff.has_task()) {
+    AffSlot& slot = slots_[slot_of(t->aff_key)];
+    slot.tasks.push_back(t);
+    on_slot_push(slot);
+  } else {
+    object_q_.push_back(t);
+  }
+  ++size_;
+  max_depth_ = std::max(max_depth_, size_);
+}
+
+void ServerQueues::push_resumed(TaskDesc* t) {
+  COOL_DCHECK(t != nullptr, "null task");
+  object_q_.push_front(t);
+  ++size_;
+  max_depth_ = std::max(max_depth_, size_);
+}
+
+TaskDesc* ServerQueues::pop() {
+  // Keep draining the active affinity set: this is the back-to-back execution
+  // that gives the paper's cache reuse.
+  if (active_ != nullptr && !active_->tasks.empty()) {
+    TaskDesc* t = active_->tasks.pop_front();
+    on_slot_pop(*active_);
+    --size_;
+    return t;
+  }
+  active_ = nullptr;
+  if (AffSlot* slot = nonempty_.front()) {
+    active_ = slot;
+    TaskDesc* t = slot->tasks.pop_front();
+    on_slot_pop(*slot);
+    --size_;
+    return t;
+  }
+  if (TaskDesc* t = object_q_.pop_front()) {
+    --size_;
+    return t;
+  }
+  return nullptr;
+}
+
+std::vector<TaskDesc*> ServerQueues::steal_set(bool allow_pinned) {
+  // Steal the set least likely to be serviced soon: prefer anything over the
+  // active set (which the owner is draining), and skip pinned sets unless
+  // allowed.
+  auto eligible = [&](AffSlot* s) {
+    if (allow_pinned) return true;
+    // Check every queued task: hash collisions can put a pinned set and an
+    // unpinned set in the same slot, and the whole slot moves on a steal.
+    for (const TaskDesc* t : s->tasks) {
+      if (t->aff.has_processor() || t->aff.has_object()) return false;
+    }
+    return !s->tasks.empty();
+  };
+  AffSlot* victim = nullptr;
+  AffSlot* active_fallback = nullptr;
+  for (AffSlot* s : nonempty_) {
+    if (!eligible(s)) continue;
+    if (s == active_) {
+      active_fallback = s;
+    } else {
+      victim = s;  // keep the last eligible non-active set
+    }
+  }
+  if (victim == nullptr) victim = active_fallback;
+  if (victim == nullptr) return {};
+  std::vector<TaskDesc*> set;
+  while (TaskDesc* t = victim->tasks.pop_front()) {
+    t->stolen = true;
+    set.push_back(t);
+    --size_;
+  }
+  on_slot_pop(*victim);
+  return set;
+}
+
+TaskDesc* ServerQueues::steal_object_task(bool allow_pinned) {
+  TaskDesc* t = nullptr;
+  if (allow_pinned) {
+    t = object_q_.pop_back();
+  } else {
+    // Scan for the youngest task without placement hints.
+    for (TaskDesc* cand : object_q_) {
+      if (cand->aff.is_none()) t = cand;
+    }
+    if (t != nullptr) TaskList::erase(t);
+  }
+  if (t != nullptr) {
+    t->stolen = true;
+    --size_;
+  }
+  return t;
+}
+
+void ServerQueues::adopt(const std::vector<TaskDesc*>& set,
+                         topo::ProcId new_server) {
+  for (TaskDesc* t : set) {
+    t->server = new_server;
+    push(t);
+  }
+}
+
+}  // namespace cool::sched

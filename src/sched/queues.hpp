@@ -1,0 +1,99 @@
+// Per-server task-queue structure, following paper §5:
+//
+//   "There are two kinds of task queues per server": an object-affinity queue
+//   (which also holds default-affinity and resumed tasks), plus an array of
+//   task-affinity queues. A task with TASK affinity hashes its affinity
+//   object's address into the array ("two modulo operations": one to pick the
+//   server, one to pick the queue), so tasks of the same task-affinity set
+//   land on the same queue and are serviced back to back. The non-empty
+//   queues in the array are linked into a doubly-linked list for O(1)
+//   enqueue/dequeue, and a suitably large array minimises collisions of
+//   distinct affinity sets on one queue.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/intrusive_list.hpp"
+#include "sched/task.hpp"
+
+namespace cool::sched {
+
+class ServerQueues {
+ public:
+  using TaskList = util::IntrusiveList<TaskDesc, &TaskDesc::hook>;
+
+  explicit ServerQueues(std::size_t affinity_array_size);
+
+  /// Queue index for a task-affinity key (the paper's second modulo
+  /// operation). The key is an object address scaled by the line size, and
+  /// objects are page-aligned, so the low bits carry no entropy — mix the
+  /// key first or every affinity set lands in slot 0.
+  [[nodiscard]] std::size_t slot_of(std::uint64_t aff_key) const noexcept {
+    const std::uint64_t mixed = (aff_key * 0x9e3779b97f4a7c15ull) >> 17;
+    return static_cast<std::size_t>(mixed % slots_.size());
+  }
+
+  /// Enqueue at the back (normal spawn order).
+  void push(TaskDesc* t);
+
+  /// Enqueue at the front of the object queue (resumed / unblocked tasks).
+  void push_resumed(TaskDesc* t);
+
+  /// Dequeue for local execution. Services the current task-affinity set to
+  /// exhaustion (back-to-back execution), then the next non-empty affinity
+  /// queue, then the object-affinity queue. Returns nullptr when empty.
+  TaskDesc* pop();
+
+  /// Steal an entire task-affinity set (paper §4.2: "tasks scheduled with
+  /// task-affinity can be stolen as a set"). Takes the least-recently-touched
+  /// non-empty affinity queue. With `allow_pinned == false`, sets whose tasks
+  /// also carry PROCESSOR or OBJECT placement are skipped — the programmer
+  /// pinned them deliberately (e.g. LocusRoute's per-region processor hints).
+  /// Empty result means no set to steal.
+  std::vector<TaskDesc*> steal_set(bool allow_pinned = true);
+
+  /// Steal a single task from the back of the object-affinity queue.
+  /// With `allow_pinned == false`, tasks carrying OBJECT or PROCESSOR
+  /// affinity are skipped ("tasks scheduled with object-affinity should
+  /// preferably not be stolen", paper §4.2) and only hint-free tasks are
+  /// taken. Returns nullptr if nothing stealable.
+  TaskDesc* steal_object_task(bool allow_pinned = true);
+
+  /// Adopt tasks stolen as a set: they keep their affinity key and are queued
+  /// back-to-back on this server.
+  void adopt(const std::vector<TaskDesc*>& set, topo::ProcId new_server);
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t affinity_array_size() const noexcept {
+    return slots_.size();
+  }
+  [[nodiscard]] std::size_t n_nonempty_affinity_queues() const noexcept {
+    return nonempty_.size();
+  }
+  [[nodiscard]] std::size_t object_queue_size() const noexcept {
+    return object_q_.size();
+  }
+  /// High-water mark of queued tasks (diagnostics).
+  [[nodiscard]] std::size_t max_depth() const noexcept { return max_depth_; }
+
+ private:
+  struct AffSlot {
+    TaskList tasks;
+    util::ListHook hook;  ///< Links this slot into the non-empty list.
+  };
+
+  void on_slot_push(AffSlot& slot);
+  void on_slot_pop(AffSlot& slot);
+
+  TaskList object_q_;
+  std::vector<AffSlot> slots_;
+  util::IntrusiveList<AffSlot, &AffSlot::hook> nonempty_;
+  AffSlot* active_ = nullptr;  ///< Affinity set currently being drained.
+  std::size_t size_ = 0;
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace cool::sched

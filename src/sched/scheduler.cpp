@@ -1,0 +1,184 @@
+#include "sched/scheduler.hpp"
+
+#include "common/error.hpp"
+
+namespace cool::sched {
+
+Scheduler::Scheduler(const topo::MachineConfig& machine, Policy policy,
+                     HomeFn home)
+    : machine_(machine), policy_(policy), home_(std::move(home)) {
+  COOL_CHECK(home_ != nullptr, "scheduler needs a home resolver");
+  COOL_CHECK(policy_.affinity_array_size >= 1, "affinity array size must be >= 1");
+  for (std::uint32_t p = 0; p < machine_.n_procs; ++p) {
+    queues_.emplace_back(policy_.affinity_array_size);
+  }
+}
+
+topo::ProcId Scheduler::place(TaskDesc* t, topo::ProcId spawner) {
+  COOL_CHECK(t != nullptr, "place: null task");
+  COOL_CHECK(spawner < machine_.n_procs, "place: spawner out of range");
+  ++stats_.spawned;
+
+  topo::ProcId server = spawner;
+  if (!policy_.honor_affinity) {
+    // The paper's "Base" version: tasks scheduled round-robin across
+    // processors without regard for locality.
+    server = static_cast<topo::ProcId>(rr_next_++ % machine_.n_procs);
+    t->aff = Affinity::none();  // No set grouping either.
+    ++stats_.placed_round_robin;
+  } else if (t->aff.has_processor()) {
+    // PROCESSOR affinity: value modulo the number of server processes.
+    server = static_cast<topo::ProcId>(
+        static_cast<std::uint64_t>(t->aff.proc_hint) % machine_.n_procs);
+    ++stats_.placed_processor;
+  } else if (t->aff.has_multi() && policy_.multi_object_placement &&
+             t->aff.n_objs > 1) {
+    // Multi-object heuristic (paper §8): place on the server homing the most
+    // bytes among the named objects.
+    std::uint64_t best_bytes = 0;
+    topo::ProcId best = home_(t->aff.objs[0].addr, spawner);
+    std::vector<std::uint64_t> bytes_at(machine_.n_procs, 0);
+    for (int i = 0; i < t->aff.n_objs; ++i) {
+      const topo::ProcId h = home_(t->aff.objs[i].addr, spawner);
+      bytes_at[h] += t->aff.objs[i].bytes;
+      if (bytes_at[h] > best_bytes) {
+        best_bytes = bytes_at[h];
+        best = h;
+      }
+    }
+    server = best;
+    ++stats_.placed_multi;
+  } else if (t->aff.has_object()) {
+    // OBJECT / simple / default affinity: collocate with the object's home.
+    server = home_(t->aff.object_obj, spawner);
+    ++stats_.placed_object;
+  } else if (t->aff.has_task()) {
+    // TASK affinity alone: place the whole set where the object lives so the
+    // first fetch is local; the set remains stealable as a unit.
+    server = home_(t->aff.task_obj, spawner);
+    ++stats_.placed_task;
+  } else {
+    ++stats_.placed_local;
+  }
+
+  if (t->aff.has_task()) {
+    t->aff_key = t->aff.task_obj / machine_.line_bytes;
+  } else {
+    t->aff_key = 0;
+  }
+  t->server = server;
+  t->stolen = false;
+  queues_[server].push(t);
+  return server;
+}
+
+void Scheduler::enqueue_resumed(TaskDesc* t) {
+  COOL_CHECK(t != nullptr, "enqueue_resumed: null task");
+  COOL_CHECK(t->server < machine_.n_procs, "enqueue_resumed: bad server");
+  ++stats_.resumes;
+  queues_[t->server].push_resumed(t);
+}
+
+void Scheduler::enqueue_yielded(TaskDesc* t) {
+  COOL_CHECK(t != nullptr, "enqueue_yielded: null task");
+  COOL_CHECK(t->server < machine_.n_procs, "enqueue_yielded: bad server");
+  queues_[t->server].push(t);
+}
+
+TaskDesc* Scheduler::try_steal(topo::ProcId thief, topo::ProcId victim) {
+  ServerQueues& q = queues_[victim];
+  if (q.empty()) return nullptr;
+  if (policy_.steal_whole_sets) {
+    std::vector<TaskDesc*> set = q.steal_set(policy_.steal_pinned_sets);
+    if (!set.empty()) {
+      ++stats_.set_steals;
+      stats_.tasks_stolen += set.size();
+      // The whole set migrates to the thief so its tasks still run
+      // back-to-back (paper §4.2).
+      queues_[thief].adopt(set, thief);
+      return queues_[thief].pop();
+    }
+  }
+  if (TaskDesc* t = q.steal_object_task(policy_.steal_object_tasks)) {
+    ++stats_.tasks_stolen;
+    t->server = thief;
+    return t;
+  }
+  return nullptr;
+}
+
+Scheduler::Acquired Scheduler::acquire(topo::ProcId proc) {
+  COOL_CHECK(proc < machine_.n_procs, "acquire: processor out of range");
+  Acquired out;
+  if (TaskDesc* t = queues_[proc].pop()) {
+    ++stats_.pops;
+    out.task = t;
+    return out;
+  }
+  if (!policy_.steal_enabled || machine_.n_procs == 1) return out;
+
+  // Victim scan: deterministic order starting after the thief. With
+  // cluster_first, scan the thief's cluster before the rest; with
+  // cluster_only, never leave the cluster.
+  const std::uint32_t P = machine_.n_procs;
+  auto scan = [&](bool same_cluster_pass) -> TaskDesc* {
+    for (std::uint32_t i = 1; i < P; ++i) {
+      const auto victim = static_cast<topo::ProcId>((proc + i) % P);
+      const bool same = machine_.same_cluster(proc, victim);
+      if (same_cluster_pass != same) continue;
+      if (TaskDesc* t = try_steal(proc, victim)) {
+        ++stats_.steals;
+        out.stolen = true;
+        out.stolen_remote_cluster = !same;
+        if (!same) ++stats_.remote_cluster_steals;
+        return t;
+      }
+    }
+    return nullptr;
+  };
+
+  if (policy_.cluster_first || policy_.cluster_only) {
+    if (TaskDesc* t = scan(/*same_cluster_pass=*/true)) {
+      out.task = t;
+      return out;
+    }
+    if (policy_.cluster_only) {
+      ++stats_.failed_steal_scans;
+      return out;
+    }
+    if (TaskDesc* t = scan(/*same_cluster_pass=*/false)) {
+      out.task = t;
+      return out;
+    }
+  } else {
+    for (std::uint32_t i = 1; i < P; ++i) {
+      const auto victim = static_cast<topo::ProcId>((proc + i) % P);
+      if (TaskDesc* t = try_steal(proc, victim)) {
+        ++stats_.steals;
+        out.stolen = true;
+        const bool same = machine_.same_cluster(proc, victim);
+        out.stolen_remote_cluster = !same;
+        if (!same) ++stats_.remote_cluster_steals;
+        out.task = t;
+        return out;
+      }
+    }
+  }
+  ++stats_.failed_steal_scans;
+  return out;
+}
+
+bool Scheduler::any_work() const {
+  for (const auto& q : queues_) {
+    if (!q.empty()) return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::total_queued() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+}  // namespace cool::sched

@@ -1,0 +1,123 @@
+// The COOL runtime scheduler: placement of tasks by affinity hints, per-server
+// queues, and work stealing with the paper's policies.
+//
+// Placement (paper §4.1/§5):
+//   PROCESSOR affinity  -> server = n mod P
+//   OBJECT / simple / default affinity -> server = home(object)
+//   TASK affinity only  -> server = home(task object)
+//   no hints            -> the spawning processor's own queue
+// plus, for tasks with TASK affinity, the affinity-set key = object address /
+// line size, hashed into the server's queue array (the second modulo).
+//
+// Stealing (paper §4.2, §6.3): an idle processor steals; whole task-affinity
+// sets may be stolen together; object-affinity tasks are stolen only as a
+// last resort (or never, by policy); `cluster_first` restricts the first
+// round of victims to the thief's own cluster — the Panel Cholesky
+// "Distr+Aff+ClusterStealing" experiment; `cluster_only` forbids stealing
+// outside the cluster entirely.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sched/queues.hpp"
+#include "topology/machine.hpp"
+
+namespace cool::sched {
+
+struct Policy {
+  std::size_t affinity_array_size = 64;  ///< Queues per server (paper §5).
+  bool steal_enabled = true;
+  bool steal_whole_sets = true;    ///< Steal task-affinity sets as a unit.
+  bool steal_pinned_sets = false;  ///< Also steal sets pinned by PROCESSOR /
+                                   ///< OBJECT hints (default: respect pins).
+  bool steal_object_tasks = false; ///< Allow stealing tasks pinned by OBJECT /
+                                   ///< PROCESSOR hints (paper: "preferably
+                                   ///< not"; hint-free tasks are always
+                                   ///< stealable).
+  bool cluster_first = false;     ///< Prefer victims in the thief's cluster.
+  bool cluster_only = false;      ///< Never steal outside the cluster.
+  bool honor_affinity = true;     ///< false = ignore all hints (the paper's
+                                  ///< "Base" round-robin scheduling).
+  bool multi_object_placement = true;  ///< Size-weighted placement for
+                                       ///< multi-object affinity (§8); false
+                                       ///< = paper's "first object" fallback.
+  bool prefetch_objects = false;  ///< Prefetch a task's non-local affinity
+                                  ///< objects at dispatch (§8; sim engine).
+};
+
+struct SchedStats {
+  std::uint64_t spawned = 0;
+  std::uint64_t placed_processor = 0;  ///< Placed via PROCESSOR hint.
+  std::uint64_t placed_object = 0;     ///< Placed via OBJECT/simple/default hint.
+  std::uint64_t placed_task = 0;       ///< Placed via TASK hint (no OBJECT).
+  std::uint64_t placed_local = 0;      ///< No hints: spawner's queue.
+  std::uint64_t placed_multi = 0;      ///< Size-weighted multi-object placement.
+  std::uint64_t placed_round_robin = 0;///< Base mode round-robin placement.
+  std::uint64_t pops = 0;
+  std::uint64_t steals = 0;            ///< Successful steal operations.
+  std::uint64_t set_steals = 0;        ///< ... of which whole sets.
+  std::uint64_t tasks_stolen = 0;      ///< Tasks acquired via stealing.
+  std::uint64_t remote_cluster_steals = 0;
+  std::uint64_t failed_steal_scans = 0;
+  std::uint64_t resumes = 0;
+};
+
+class Scheduler {
+ public:
+  /// `home` resolves an object address to the processor homing it.
+  using HomeFn = std::function<topo::ProcId(std::uint64_t addr, topo::ProcId toucher)>;
+
+  Scheduler(const topo::MachineConfig& machine, Policy policy, HomeFn home);
+
+  /// Decide the server and affinity key for `t` (spawned by `spawner`) and
+  /// enqueue it. Returns the chosen server.
+  topo::ProcId place(TaskDesc* t, topo::ProcId spawner);
+
+  /// Re-enqueue an unblocked task on its server, at the front.
+  void enqueue_resumed(TaskDesc* t);
+
+  /// Re-enqueue a yielded task on its current server, at the back.
+  void enqueue_yielded(TaskDesc* t);
+
+  /// Result of an acquire attempt.
+  struct Acquired {
+    TaskDesc* task = nullptr;
+    bool stolen = false;
+    bool stolen_remote_cluster = false;
+  };
+
+  /// Get work for `proc`: local pop first, then steal per policy.
+  Acquired acquire(topo::ProcId proc);
+
+  [[nodiscard]] bool has_local_work(topo::ProcId proc) const {
+    return !queues_[proc].empty();
+  }
+  [[nodiscard]] bool any_work() const;
+  [[nodiscard]] std::size_t total_queued() const;
+
+  [[nodiscard]] const SchedStats& stats() const noexcept { return stats_; }
+  SchedStats& stats() noexcept { return stats_; }
+
+  [[nodiscard]] const ServerQueues& queues(topo::ProcId p) const {
+    return queues_.at(p);
+  }
+  [[nodiscard]] const Policy& policy() const noexcept { return policy_; }
+  [[nodiscard]] const topo::MachineConfig& machine() const noexcept {
+    return machine_;
+  }
+
+ private:
+  TaskDesc* try_steal(topo::ProcId thief, topo::ProcId victim);
+
+  const topo::MachineConfig& machine_;
+  Policy policy_;
+  HomeFn home_;
+  std::deque<ServerQueues> queues_;  // deque: ServerQueues is not movable
+  SchedStats stats_;
+  std::uint64_t rr_next_ = 0;  ///< Base-mode round-robin cursor.
+};
+
+}  // namespace cool::sched

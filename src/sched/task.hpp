@@ -1,0 +1,31 @@
+// Scheduler-level task descriptor.
+//
+// The runtime (core/) owns richer task records (coroutine frames, groups);
+// the scheduler sees only this descriptor: affinity, placement, and an
+// intrusive hook so queue operations never allocate (paper §5: enqueue and
+// dequeue are O(1) on doubly-linked lists).
+#pragma once
+
+#include <cstdint>
+
+#include "common/intrusive_list.hpp"
+#include "sched/affinity.hpp"
+#include "topology/machine.hpp"
+
+namespace cool::sched {
+
+struct TaskDesc {
+  util::ListHook hook;  ///< Links the task into exactly one queue at a time.
+
+  Affinity aff;
+  std::uint64_t seq = 0;         ///< Spawn sequence number (determinism/debug).
+  std::uint64_t ready_time = 0;  ///< Simulated time the task became runnable.
+  topo::ProcId server = 0;       ///< Server queue the task was placed on.
+  std::uint64_t aff_key = 0;     ///< Task-affinity set key (0 = no set).
+  bool stolen = false;           ///< Set if acquired by a thief.
+
+  /// Opaque pointer back to the owning runtime record (core::TaskRecord).
+  void* owner = nullptr;
+};
+
+}  // namespace cool::sched

@@ -1,0 +1,108 @@
+#include "apps/gauss/gauss.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cool::apps::gauss {
+namespace {
+
+Config small(Variant v) {
+  Config cfg;
+  cfg.n = 48;
+  cfg.variant = v;
+  return cfg;
+}
+
+Runtime make_rt(std::uint32_t procs, const Config& cfg) {
+  SystemConfig sc;
+  sc.machine = topo::MachineConfig::dash(procs);
+  sc.policy = policy_for(cfg.variant);
+  return Runtime(sc);
+}
+
+TEST(Gauss, SerialReferenceFactorsCorrectly) {
+  Config cfg = small(Variant::kTaskObject);
+  EXPECT_LT(serial_residual(cfg), 1e-8);
+}
+
+class GaussVariants : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(GaussVariants, ParallelFactorizationIsCorrect) {
+  Config cfg = small(GetParam());
+  Runtime rt = make_rt(8, cfg);
+  const Result r = run(rt, cfg);
+  EXPECT_LT(r.residual, 1e-8) << variant_name(GetParam());
+  // n completes + n(n-1)/2 updates + 1 root.
+  const auto n = static_cast<std::uint64_t>(cfg.n);
+  EXPECT_EQ(r.run.tasks, 1 + n + n * (n - 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, GaussVariants,
+                         ::testing::Values(Variant::kBase,
+                                           Variant::kObjectOnly,
+                                           Variant::kTaskObject),
+                         [](const auto& pinfo) {
+                           return std::string(variant_name(pinfo.param)) ==
+                                          "Task+ObjectAff"
+                                      ? "TaskObject"
+                                      : variant_name(pinfo.param);
+                         });
+
+TEST(Gauss, DeterministicAcrossRuns) {
+  Config cfg = small(Variant::kTaskObject);
+  Runtime rt1 = make_rt(8, cfg);
+  Runtime rt2 = make_rt(8, cfg);
+  const Result a = run(rt1, cfg);
+  const Result b = run(rt2, cfg);
+  EXPECT_EQ(a.run.sim_cycles, b.run.sim_cycles);
+  EXPECT_EQ(a.run.checksum, b.run.checksum);
+}
+
+TEST(Gauss, DistributionSpreadsColumns) {
+  Config cfg = small(Variant::kTaskObject);
+  Runtime rt = make_rt(8, cfg);
+  run(rt, cfg);
+  // With round-robin distribution, every processor homes some pages.
+  // (home() is engine-side; we check via the scheduler's placement stats:
+  //  object placements must land on more than one server.)
+  EXPECT_GT(rt.sched_stats().placed_object, 0u);
+}
+
+TEST(Gauss, AffinityReducesRemoteMisses) {
+  Config cfg;
+  cfg.n = 96;
+  cfg.variant = Variant::kBase;
+  Runtime base_rt = make_rt(16, cfg);
+  const Result base = run(base_rt, cfg);
+
+  cfg.variant = Variant::kTaskObject;
+  Runtime aff_rt = make_rt(16, cfg);
+  const Result aff = run(aff_rt, cfg);
+
+  // Same math.
+  EXPECT_NEAR(base.run.checksum, aff.run.checksum, 1e-9);
+  // Affinity scheduling shifts misses from remote to local service.
+  EXPECT_LT(aff.run.mem.remote_misses(), base.run.mem.remote_misses());
+  // And it should not be slower.
+  EXPECT_LE(aff.run.sim_cycles, base.run.sim_cycles);
+}
+
+TEST(Gauss, RejectsDegenerateMatrix) {
+  Config cfg = small(Variant::kBase);
+  cfg.n = 1;
+  Runtime rt = make_rt(2, cfg);
+  EXPECT_THROW(run(rt, cfg), util::Error);
+}
+
+TEST(Gauss, RunsUnderThreadEngineToo) {
+  Config cfg = small(Variant::kTaskObject);
+  SystemConfig sc;
+  sc.mode = SystemConfig::Mode::kThreads;
+  sc.machine = topo::MachineConfig::dash(4);
+  sc.policy = policy_for(cfg.variant);
+  Runtime rt(sc);
+  const Result r = run(rt, cfg);
+  EXPECT_LT(r.residual, 1e-8);
+}
+
+}  // namespace
+}  // namespace cool::apps::gauss

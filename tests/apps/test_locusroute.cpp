@@ -1,0 +1,143 @@
+#include "apps/locusroute/locusroute.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cool::apps::locusroute {
+namespace {
+
+Config small(Variant v) {
+  Config cfg;
+  cfg.region_w = 16;
+  cfg.height = 16;
+  cfg.wires_per_region = 8;
+  cfg.iterations = 2;
+  cfg.variant = v;
+  return cfg;
+}
+
+Runtime make_rt(std::uint32_t procs, const Config& cfg) {
+  SystemConfig sc;
+  sc.machine = topo::MachineConfig::dash(procs);
+  sc.policy = policy_for(cfg.variant);
+  return Runtime(sc);
+}
+
+class LocusVariants : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(LocusVariants, RoutesAllWiresConsistently) {
+  Config cfg = small(GetParam());
+  Runtime rt = make_rt(8, cfg);
+  // run() itself validates the CostArray-vs-replay invariant and throws on
+  // inconsistency.
+  const Result r = run(rt, cfg);
+  EXPECT_GT(r.total_occupancy, 0u);
+  // 8 regions x 8 wires x 2 iterations + root.
+  EXPECT_EQ(r.run.tasks, 1u + 8u * 8u * 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, LocusVariants,
+                         ::testing::Values(Variant::kBase, Variant::kAffinity,
+                                           Variant::kAffinityDistr),
+                         [](const auto& pinfo) {
+                           switch (pinfo.param) {
+                             case Variant::kBase: return "Base";
+                             case Variant::kAffinity: return "Affinity";
+                             case Variant::kAffinityDistr: return "AffinityDistr";
+                           }
+                           return "x";
+                         });
+
+TEST(LocusRoute, AffinityKeepsWiresOnTheirRegionProcessor) {
+  // Needs a realistic amount of work per region: during the spawn ramp idle
+  // processors may legitimately steal whole sets, which dominates if regions
+  // hold only a handful of wires.
+  Config cfg = small(Variant::kAffinity);
+  cfg.wires_per_region = 48;
+  cfg.iterations = 3;
+  Runtime rt = make_rt(8, cfg);
+  const Result r = run(rt, cfg);
+  EXPECT_GT(r.region_adherence, 0.8);  // paper: "over 80%"
+}
+
+TEST(LocusRoute, BaseScattersWires) {
+  Config cfg = small(Variant::kBase);
+  Runtime rt = make_rt(8, cfg);
+  const Result r = run(rt, cfg);
+  EXPECT_LT(r.region_adherence, 0.5);
+}
+
+TEST(LocusRoute, AffinityCutsMisses) {
+  Config cfg;
+  cfg.region_w = 32;
+  cfg.height = 32;
+  cfg.wires_per_region = 24;
+  cfg.iterations = 2;
+
+  cfg.variant = Variant::kBase;
+  Runtime base_rt = make_rt(16, cfg);
+  const Result base = run(base_rt, cfg);
+
+  cfg.variant = Variant::kAffinity;
+  Runtime aff_rt = make_rt(16, cfg);
+  const Result aff = run(aff_rt, cfg);
+
+  // Affinity scheduling reduces cache misses (paper Fig. 11: nearly halves).
+  EXPECT_LT(aff.run.mem.misses(), base.run.mem.misses());
+}
+
+TEST(LocusRoute, DistributionMakesMissesLocal) {
+  Config cfg;
+  cfg.region_w = 32;
+  cfg.height = 32;
+  cfg.wires_per_region = 24;
+  cfg.iterations = 2;
+
+  cfg.variant = Variant::kAffinity;
+  Runtime aff_rt = make_rt(16, cfg);
+  const Result aff = run(aff_rt, cfg);
+
+  cfg.variant = Variant::kAffinityDistr;
+  Runtime distr_rt = make_rt(16, cfg);
+  const Result distr = run(distr_rt, cfg);
+
+  EXPECT_GT(local_fraction(distr.run.mem), local_fraction(aff.run.mem));
+}
+
+TEST(LocusRoute, DeterministicInSim) {
+  Config cfg = small(Variant::kAffinityDistr);
+  Runtime rt1 = make_rt(8, cfg);
+  Runtime rt2 = make_rt(8, cfg);
+  const Result a = run(rt1, cfg);
+  const Result b = run(rt2, cfg);
+  EXPECT_EQ(a.run.sim_cycles, b.run.sim_cycles);
+  EXPECT_EQ(a.total_route_cost, b.total_route_cost);
+}
+
+TEST(LocusRoute, ExplicitRegionCountOverride) {
+  Config cfg = small(Variant::kAffinity);
+  cfg.regions = 4;  // fewer regions than processors
+  Runtime rt = make_rt(8, cfg);
+  const Result r = run(rt, cfg);
+  EXPECT_EQ(r.run.tasks, 1u + 4u * 8u * 2u);
+}
+
+TEST(LocusRoute, WorksUnderThreadEngine) {
+  Config cfg = small(Variant::kAffinityDistr);
+  SystemConfig sc;
+  sc.mode = SystemConfig::Mode::kThreads;
+  sc.machine = topo::MachineConfig::dash(4);
+  sc.policy = policy_for(cfg.variant);
+  Runtime rt(sc);
+  const Result r = run(rt, cfg);  // invariant checked inside
+  EXPECT_GT(r.total_occupancy, 0u);
+}
+
+TEST(LocusRoute, RejectsBadConfig) {
+  Config cfg = small(Variant::kBase);
+  cfg.region_w = 2;
+  Runtime rt = make_rt(4, cfg);
+  EXPECT_THROW(run(rt, cfg), util::Error);
+}
+
+}  // namespace
+}  // namespace cool::apps::locusroute

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "apps/synth/multiobj.hpp"
+#include "apps/synth/taskmix.hpp"
+
+namespace cool::apps {
+namespace {
+
+Runtime make_rt(std::uint32_t procs, const sched::Policy& pol) {
+  SystemConfig sc;
+  sc.machine = topo::MachineConfig::dash(procs);
+  sc.policy = pol;
+  return Runtime(sc);
+}
+
+// ---------------------------------------------------------------------------
+// TaskMix
+// ---------------------------------------------------------------------------
+
+TEST(TaskMix, AllHintsProduceSameChecksum) {
+  double expect = 0.0;
+  bool first = true;
+  for (taskmix::Hint h :
+       {taskmix::Hint::kNone, taskmix::Hint::kSimple, taskmix::Hint::kTask,
+        taskmix::Hint::kObject, taskmix::Hint::kTaskObject,
+        taskmix::Hint::kProcessor}) {
+    taskmix::Config cfg;
+    cfg.objects = 16;
+    cfg.obj_kb = 4;
+    cfg.tasks_per_obj = 3;
+    cfg.hint = h;
+    Runtime rt = make_rt(8, sched::Policy{});
+    const auto r = taskmix::run(rt, cfg);
+    if (first) {
+      expect = r.checksum;
+      first = false;
+    } else {
+      EXPECT_DOUBLE_EQ(r.checksum, expect) << taskmix::hint_name(h);
+    }
+    EXPECT_EQ(r.run.tasks,
+              1u + static_cast<std::uint64_t>(cfg.objects) * cfg.tasks_per_obj);
+  }
+}
+
+TEST(TaskMix, GroupingBeatsInterleavingUnderTaskAffinity) {
+  // The workload the §5 queue array exists for: interleaved arrivals of many
+  // sets. With TASK+OBJECT hints, the L1 hit rate must beat plain OBJECT
+  // affinity (FIFO interleaving).
+  taskmix::Config cfg;
+  cfg.objects = 64;
+  cfg.obj_kb = 32;
+  cfg.tasks_per_obj = 6;
+
+  cfg.hint = taskmix::Hint::kObject;
+  Runtime rt1 = make_rt(16, sched::Policy{});
+  const auto fifo = taskmix::run(rt1, cfg);
+
+  cfg.hint = taskmix::Hint::kTaskObject;
+  Runtime rt2 = make_rt(16, sched::Policy{});
+  const auto grouped = taskmix::run(rt2, cfg);
+
+  EXPECT_GT(grouped.l1_hit_rate, fifo.l1_hit_rate + 0.2);
+  EXPECT_LT(grouped.run.sim_cycles, fifo.run.sim_cycles);
+}
+
+TEST(TaskMix, ObjectAffinityServicesMissesLocally) {
+  taskmix::Config cfg;
+  cfg.objects = 32;
+  cfg.obj_kb = 8;
+  cfg.hint = taskmix::Hint::kObject;
+  Runtime rt = make_rt(8, sched::Policy{});
+  const auto r = taskmix::run(rt, cfg);
+  EXPECT_GT(local_fraction(r.run.mem), 0.95);
+}
+
+TEST(TaskMix, RejectsEmptyConfig) {
+  taskmix::Config cfg;
+  cfg.objects = 0;
+  Runtime rt = make_rt(4, sched::Policy{});
+  EXPECT_THROW(taskmix::run(rt, cfg), util::Error);
+}
+
+// ---------------------------------------------------------------------------
+// MultiObj
+// ---------------------------------------------------------------------------
+
+TEST(MultiObj, AllStrategiesSameChecksum) {
+  double expect = 0.0;
+  bool first = true;
+  for (multiobj::Strategy s :
+       {multiobj::Strategy::kFirstObject, multiobj::Strategy::kWeighted,
+        multiobj::Strategy::kWeightedPrefetch}) {
+    multiobj::Config cfg;
+    cfg.pairs = 16;
+    cfg.tasks_per_pair = 2;
+    cfg.strategy = s;
+    Runtime rt = make_rt(8, multiobj::policy_for(s));
+    const auto r = multiobj::run(rt, cfg);
+    if (first) {
+      expect = r.checksum;
+      first = false;
+    } else {
+      EXPECT_DOUBLE_EQ(r.checksum, expect) << multiobj::strategy_name(s);
+    }
+  }
+}
+
+TEST(MultiObj, WeightedPlacementImprovesLocality) {
+  multiobj::Config cfg;
+  cfg.pairs = 32;
+  cfg.tasks_per_pair = 3;
+
+  cfg.strategy = multiobj::Strategy::kFirstObject;
+  Runtime rt1 = make_rt(16, multiobj::policy_for(cfg.strategy));
+  const auto naive = multiobj::run(rt1, cfg);
+
+  cfg.strategy = multiobj::Strategy::kWeighted;
+  Runtime rt2 = make_rt(16, multiobj::policy_for(cfg.strategy));
+  const auto weighted = multiobj::run(rt2, cfg);
+
+  EXPECT_GT(local_fraction(weighted.run.mem), local_fraction(naive.run.mem));
+  EXPECT_LE(weighted.run.sim_cycles, naive.run.sim_cycles);
+}
+
+TEST(MultiObj, PrefetchEliminatesDemandMisses) {
+  multiobj::Config cfg;
+  cfg.pairs = 16;
+  cfg.tasks_per_pair = 2;
+
+  cfg.strategy = multiobj::Strategy::kWeighted;
+  Runtime rt1 = make_rt(8, multiobj::policy_for(cfg.strategy));
+  const auto plain = multiobj::run(rt1, cfg);
+
+  cfg.strategy = multiobj::Strategy::kWeightedPrefetch;
+  Runtime rt2 = make_rt(8, multiobj::policy_for(cfg.strategy));
+  const auto pf = multiobj::run(rt2, cfg);
+
+  EXPECT_GT(pf.run.mem.prefetches, 0u);
+  EXPECT_LT(pf.run.mem.misses(), plain.run.mem.misses() / 2);
+  EXPECT_LT(pf.run.sim_cycles, plain.run.sim_cycles);
+}
+
+TEST(MultiObj, RejectsEmptyConfig) {
+  multiobj::Config cfg;
+  cfg.pairs = 0;
+  Runtime rt = make_rt(4, sched::Policy{});
+  EXPECT_THROW(multiobj::run(rt, cfg), util::Error);
+}
+
+}  // namespace
+}  // namespace cool::apps

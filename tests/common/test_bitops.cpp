@@ -1,0 +1,65 @@
+#include "common/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cool::util {
+namespace {
+
+TEST(Bitops, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 63));
+  EXPECT_FALSE(is_pow2((1ull << 63) + 1));
+}
+
+TEST(Bitops, Log2Floor) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(4096), 12u);
+  EXPECT_EQ(log2_floor(~0ull), 63u);
+}
+
+TEST(Bitops, Log2ExactThrowsOnNonPow2) {
+  EXPECT_EQ(log2_exact(4096), 12u);
+  EXPECT_THROW(log2_exact(3), Error);
+  EXPECT_THROW(log2_exact(0), Error);
+}
+
+TEST(Bitops, AlignUp) {
+  EXPECT_EQ(align_up(0, 16), 0u);
+  EXPECT_EQ(align_up(1, 16), 16u);
+  EXPECT_EQ(align_up(16, 16), 16u);
+  EXPECT_EQ(align_up(17, 16), 32u);
+  EXPECT_EQ(align_up(4095, 4096), 4096u);
+}
+
+TEST(Bitops, AlignDown) {
+  EXPECT_EQ(align_down(0, 16), 0u);
+  EXPECT_EQ(align_down(15, 16), 0u);
+  EXPECT_EQ(align_down(16, 16), 16u);
+  EXPECT_EQ(align_down(4097, 4096), 4096u);
+}
+
+// Property: align_down(x) <= x <= align_up(x), both multiples of the grain.
+class AlignProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AlignProperty, Sandwich) {
+  const std::uint64_t x = GetParam();
+  for (std::uint64_t a : {1ull, 2ull, 16ull, 64ull, 4096ull}) {
+    EXPECT_LE(align_down(x, a), x);
+    EXPECT_GE(align_up(x, a), x);
+    EXPECT_EQ(align_down(x, a) % a, 0u);
+    EXPECT_EQ(align_up(x, a) % a, 0u);
+    EXPECT_LT(align_up(x, a) - align_down(x, a), 2 * a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, AlignProperty,
+                         ::testing::Values(0, 1, 7, 63, 64, 65, 4095, 4096,
+                                           4097, 123456789));
+
+}  // namespace
+}  // namespace cool::util

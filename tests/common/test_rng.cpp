@@ -1,0 +1,109 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace cool::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng r(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng r(7);
+  EXPECT_THROW(r.next_below(0), Error);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng r(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = r.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextInBadBoundsThrows) {
+  Rng r(3);
+  EXPECT_THROW(r.next_in(4, 3), Error);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformityChiSquaredish) {
+  Rng r(5);
+  std::vector<int> buckets(16, 0);
+  const int n = 160000;
+  for (int i = 0; i < n; ++i) ++buckets[r.next_below(16)];
+  for (int b : buckets) {
+    EXPECT_NEAR(b, n / 16, n / 160);  // within 10% of expectation
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(13);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.next_gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ReseedReproduces) {
+  Rng r(99);
+  const auto a = r.next_u64();
+  r.next_u64();
+  r.reseed(99);
+  EXPECT_EQ(r.next_u64(), a);
+}
+
+}  // namespace
+}  // namespace cool::util

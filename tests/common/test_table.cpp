@@ -1,0 +1,90 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace cool::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(std::uint64_t{42});
+  t.row().cell("beta").cell(3.14159, 2);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"a", "b"});
+  t.row().cell("longlabel").cell(1);
+  t.row().cell("x").cell(100);
+  const std::string s = t.to_string();
+  // All lines should have the same length (fixed-width rendering).
+  std::size_t prev = std::string::npos;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    auto end = s.find('\n', start);
+    if (end == std::string::npos) break;
+    const auto len = end - start;
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
+    prev = len;
+    start = end + 1;
+  }
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell("x"), Error);
+}
+
+TEST(Table, TooManyCellsThrows) {
+  Table t({"a"});
+  t.row().cell("x");
+  EXPECT_THROW(t.cell("y"), Error);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(Table, NegativeAndPrecision) {
+  Table t({"v"});
+  t.row().cell(std::int64_t{-5});
+  t.row().cell(-2.5, 3);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("-5"), std::string::npos);
+  EXPECT_NE(s.find("-2.500"), std::string::npos);
+}
+
+TEST(Table, CsvBasic) {
+  Table t({"name", "value"});
+  t.row().cell("plain").cell(1);
+  t.row().cell("with,comma").cell(2);
+  t.row().cell("with\"quote").cell(3);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("name,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("plain,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\",2\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\",3\n"), std::string::npos);
+}
+
+TEST(Table, CsvMissingCellsEmpty) {
+  Table t({"a", "b", "c"});
+  t.row().cell("x");
+  EXPECT_NE(t.to_csv().find("x,,\n"), std::string::npos);
+}
+
+TEST(Table, MissingCellsRenderBlank) {
+  Table t({"a", "b"});
+  t.row().cell("only");
+  EXPECT_NO_THROW(t.to_string());
+}
+
+}  // namespace
+}  // namespace cool::util

@@ -1,0 +1,91 @@
+#include "sched/affinity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cool::sched {
+namespace {
+
+TEST(Affinity, NoneHasNoHints) {
+  const Affinity a = Affinity::none();
+  EXPECT_TRUE(a.is_none());
+  EXPECT_FALSE(a.has_task());
+  EXPECT_FALSE(a.has_object());
+  EXPECT_FALSE(a.has_processor());
+  EXPECT_FALSE(a.has_multi());
+}
+
+TEST(Affinity, ObjectBuilder) {
+  int x = 0;
+  const Affinity a = Affinity::object(&x);
+  EXPECT_TRUE(a.has_object());
+  EXPECT_FALSE(a.has_task());
+  EXPECT_EQ(a.object_obj, reinterpret_cast<std::uint64_t>(&x));
+}
+
+TEST(Affinity, TaskBuilder) {
+  int x = 0;
+  const Affinity a = Affinity::task(&x);
+  EXPECT_TRUE(a.has_task());
+  EXPECT_FALSE(a.has_object());
+}
+
+TEST(Affinity, TaskObjectComposition) {
+  int s = 0, d = 0;
+  const Affinity a = Affinity::task_object(&s, &d);
+  EXPECT_TRUE(a.has_task());
+  EXPECT_TRUE(a.has_object());
+  EXPECT_EQ(a.task_obj, reinterpret_cast<std::uint64_t>(&s));
+  EXPECT_EQ(a.object_obj, reinterpret_cast<std::uint64_t>(&d));
+}
+
+TEST(Affinity, ProcessorBuilder) {
+  const Affinity a = Affinity::processor(35);
+  EXPECT_TRUE(a.has_processor());
+  EXPECT_EQ(a.proc_hint, 35);
+  EXPECT_FALSE(Affinity::processor(-1).has_processor() &&
+               !Affinity::none().has_processor());
+}
+
+TEST(Affinity, ProcessorTaskComposition) {
+  int r = 0;
+  const Affinity a = Affinity::processor_task(3, &r);
+  EXPECT_TRUE(a.has_processor());
+  EXPECT_TRUE(a.has_task());
+}
+
+TEST(Affinity, MultiObjectRecordsSizesAndFirstFallback) {
+  int x = 0, y = 0;
+  const Affinity a =
+      Affinity::objects({Affinity::ref(&x, 100), Affinity::ref(&y, 5000)});
+  EXPECT_TRUE(a.has_multi());
+  EXPECT_EQ(a.n_objs, 2);
+  EXPECT_EQ(a.objs[0].bytes, 100u);
+  EXPECT_EQ(a.objs[1].bytes, 5000u);
+  // The paper's fallback: the first object doubles as the plain object hint.
+  EXPECT_EQ(a.object_obj, reinterpret_cast<std::uint64_t>(&x));
+}
+
+TEST(Affinity, MultiObjectCapsAtMax) {
+  int o[6] = {};
+  const Affinity a = Affinity::objects(
+      {Affinity::ref(&o[0], 1), Affinity::ref(&o[1], 1),
+       Affinity::ref(&o[2], 1), Affinity::ref(&o[3], 1),
+       Affinity::ref(&o[4], 1), Affinity::ref(&o[5], 1)});
+  EXPECT_EQ(a.n_objs, Affinity::kMaxObjects);
+}
+
+TEST(Affinity, MultiObjectStopsAtNull) {
+  int x = 0;
+  const Affinity a = Affinity::objects(
+      {Affinity::ref(&x, 8), Affinity::ref(nullptr, 8)});
+  EXPECT_EQ(a.n_objs, 1);
+}
+
+TEST(Affinity, EmptyMultiIsNone) {
+  const Affinity a = Affinity::objects({});
+  EXPECT_FALSE(a.has_multi());
+  EXPECT_TRUE(a.is_none());
+}
+
+}  // namespace
+}  // namespace cool::sched

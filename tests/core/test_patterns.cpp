@@ -1,0 +1,171 @@
+#include "core/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/cool.hpp"
+
+namespace cool {
+namespace {
+
+SystemConfig cfg(std::uint32_t procs, SystemConfig::Mode mode) {
+  SystemConfig sc;
+  sc.mode = mode;
+  sc.machine = topo::MachineConfig::dash(procs);
+  return sc;
+}
+
+TaskFn phase_worker(Barrier* bar, std::vector<std::atomic<int>>* counts,
+                    int phases) {
+  auto& c = co_await self();
+  for (int ph = 0; ph < phases; ++ph) {
+    // All parties must see the same phase counter before anyone moves on.
+    co_await bar->wait(c);
+    (*counts)[static_cast<std::size_t>(ph)].fetch_add(1);
+    co_await bar->wait(c);
+  }
+}
+
+class BarrierBothEngines
+    : public ::testing::TestWithParam<SystemConfig::Mode> {};
+
+TEST_P(BarrierBothEngines, PhasesStayInLockstep) {
+  Runtime rt(cfg(8, GetParam()));
+  const int parties = 6;
+  const int phases = 5;
+  Barrier bar(parties);
+  // Shared per-phase tally, written between the two barrier waits; with a
+  // correct barrier each phase sees exactly `parties` increments and no task
+  // races ahead a phase.
+  std::vector<std::atomic<int>> tally(static_cast<std::size_t>(phases));
+  rt.run([](Barrier* b, std::vector<std::atomic<int>>* t, int np,
+            int nph) -> TaskFn {
+    auto& c = co_await self();
+    TaskGroup waitfor;
+    for (int i = 0; i < np; ++i) {
+      c.spawn(Affinity::none(), waitfor, phase_worker(b, t, nph));
+    }
+    co_await c.wait(waitfor);
+  }(&bar, &tally, parties, phases));
+  for (int ph = 0; ph < phases; ++ph) {
+    EXPECT_EQ(tally[static_cast<std::size_t>(ph)].load(), parties) << ph;
+  }
+  EXPECT_EQ(bar.arrived(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, BarrierBothEngines,
+                         ::testing::Values(SystemConfig::Mode::kSim,
+                                           SystemConfig::Mode::kThreads),
+                         [](const auto& pinfo) {
+                           return pinfo.param == SystemConfig::Mode::kSim
+                                      ? "Sim"
+                                      : "Threads";
+                         });
+
+TEST(Barrier, SinglePartyNeverBlocks) {
+  Runtime rt(cfg(2, SystemConfig::Mode::kSim));
+  Barrier bar(1);
+  int passes = 0;
+  rt.run([](Barrier* b, int* p) -> TaskFn {
+    auto& c = co_await self();
+    for (int i = 0; i < 10; ++i) {
+      co_await b->wait(c);
+      ++*p;
+    }
+  }(&bar, &passes));
+  EXPECT_EQ(passes, 10);
+}
+
+TEST(Barrier, RejectsNonPositiveParties) {
+  EXPECT_THROW(Barrier(0), util::Error);
+  EXPECT_THROW(Barrier(-2), util::Error);
+}
+
+TEST(Barrier, MissingPartyDeadlocksDetectably) {
+  Runtime rt(cfg(4, SystemConfig::Mode::kSim));
+  static Barrier bar(3);  // static: survives engine teardown
+  EXPECT_THROW(rt.run([]() -> TaskFn {
+    auto& c = co_await self();
+    TaskGroup waitfor;
+    for (int i = 0; i < 2; ++i) {  // only 2 of 3 parties show up
+      c.spawn(Affinity::none(), waitfor, [](Barrier* b) -> TaskFn {
+        auto& cc = co_await self();
+        co_await b->wait(cc);
+      }(&bar));
+    }
+    co_await c.wait(waitfor);
+  }()),
+               util::Error);
+}
+
+TaskFn mark_block(std::vector<int>* h, long b, long e) {
+  auto& cc = co_await self();
+  cc.work(10);
+  for (long i = b; i < e; ++i) (*h)[static_cast<std::size_t>(i)] += 1;
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  Runtime rt(cfg(8, SystemConfig::Mode::kSim));
+  std::vector<int> hits(1000, 0);
+  rt.run([](std::vector<int>* h) -> TaskFn {
+    auto& c = co_await self();
+    TaskGroup waitfor;
+    // The factory lambda may capture freely — only the *returned coroutine*
+    // must take its state as arguments.
+    parallel_for(c, waitfor, 0, 1000, 64,
+                 [h](long b, long e) { return mark_block(h, b, e); });
+    co_await c.wait(waitfor);
+  }(&hits));
+  for (int v : hits) EXPECT_EQ(v, 1);
+}
+
+TaskFn record_proc(std::vector<topo::ProcId>* out, long b) {
+  auto& cc = co_await self();
+  (*out)[static_cast<std::size_t>(b)] = cc.proc();
+}
+
+TEST(ParallelFor, AffinityCallbackControlsPlacement) {
+  SystemConfig sc = cfg(8, SystemConfig::Mode::kSim);
+  Runtime rt(sc);
+  std::vector<topo::ProcId> ran_on(8, 255);
+  rt.run([](std::vector<topo::ProcId>* out) -> TaskFn {
+    auto& c = co_await self();
+    TaskGroup waitfor;
+    parallel_for(
+        c, waitfor, 0, 8, 1,
+        [out](long b, long) { return record_proc(out, b); },
+        [](long b, long) { return Affinity::processor(b); });
+    co_await c.wait(waitfor);
+  }(&ran_on));
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(ran_on[static_cast<std::size_t>(i)], static_cast<topo::ProcId>(i));
+  }
+}
+
+TEST(ParallelFor, EmptyRangeSpawnsNothing) {
+  Runtime rt(cfg(2, SystemConfig::Mode::kSim));
+  rt.run([]() -> TaskFn {
+    auto& c = co_await self();
+    TaskGroup waitfor;
+    parallel_for(c, waitfor, 5, 5, 4, [](long, long) -> TaskFn { co_return; });
+    co_await c.wait(waitfor);
+  }());
+  EXPECT_EQ(rt.tasks_completed(), 1u);  // just the root
+}
+
+TEST(ParallelFor, BadGrainThrows) {
+  Runtime rt(cfg(2, SystemConfig::Mode::kSim));
+  EXPECT_THROW(rt.run([]() -> TaskFn {
+    auto& c = co_await self();
+    TaskGroup waitfor;
+    parallel_for(c, waitfor, 0, 10, 0,
+                 [](long, long) -> TaskFn { co_return; });
+    co_await c.wait(waitfor);
+  }()),
+               util::Error);
+}
+
+}  // namespace
+}  // namespace cool

@@ -1,0 +1,258 @@
+#include "core/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cool.hpp"
+
+namespace cool {
+namespace {
+
+SystemConfig sim_cfg(std::uint32_t procs) {
+  SystemConfig cfg;
+  cfg.machine = topo::MachineConfig::dash(procs);
+  return cfg;
+}
+
+struct Counter {
+  Mutex mu;
+  int value = 0;
+};
+
+TaskFn bump(Counter* ctr, int times) {
+  auto& c = co_await self();
+  for (int i = 0; i < times; ++i) {
+    auto g = co_await c.lock(ctr->mu);
+    const int v = ctr->value;  // read-modify-write under the monitor
+    co_await c.yield();        // widen the race window
+    ctr->value = v + 1;
+  }
+}
+
+TEST(Sync, MutexSerializesUpdates) {
+  Runtime rt(sim_cfg(8));
+  Counter ctr;
+  rt.run([](Counter* cc) -> TaskFn {
+    auto& c = co_await self();
+    TaskGroup waitfor;
+    for (int i = 0; i < 16; ++i) {
+      c.spawn(Affinity::none(), waitfor, bump(cc, 5));
+    }
+    co_await c.wait(waitfor);
+  }(&ctr));
+  EXPECT_EQ(ctr.value, 16 * 5);
+  EXPECT_FALSE(ctr.mu.locked());
+}
+
+TEST(Sync, MutexHandoffIsFifo) {
+  Runtime rt(sim_cfg(1));  // single proc: deterministic contention order
+  Mutex mu;
+  std::vector<int> order;
+  rt.run([](Mutex* m, std::vector<int>* ord) -> TaskFn {
+    auto& c = co_await self();
+    TaskGroup waitfor;
+    for (int i = 0; i < 5; ++i) {
+      c.spawn(Affinity::none(), waitfor, [](Mutex* mm, std::vector<int>* o,
+                                            int id) -> TaskFn {
+        auto& cc = co_await self();
+        auto g = co_await cc.lock(*mm);
+        o->push_back(id);
+      }(m, ord, i));
+    }
+    co_await c.wait(waitfor);
+  }(&mu, &order));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Sync, LockGuardMoveTransfersOwnership) {
+  Runtime rt(sim_cfg(1));
+  Mutex mu;
+  bool checked = false;
+  rt.run([](Mutex* m, bool* ok) -> TaskFn {
+    auto& c = co_await self();
+    auto g1 = co_await c.lock(*m);
+    LockGuard g2 = std::move(g1);
+    *ok = !g1.owns() && g2.owns() && m->locked();
+  }(&mu, &checked));
+  EXPECT_TRUE(checked);
+  EXPECT_FALSE(mu.locked());
+}
+
+TEST(Sync, ExplicitUnlockReleasesEarly) {
+  Runtime rt(sim_cfg(1));
+  Mutex mu;
+  rt.run([](Mutex* m) -> TaskFn {
+    auto& c = co_await self();
+    auto g = co_await c.lock(*m);
+    g.unlock();
+    // Re-acquirable immediately by the same task.
+    auto g2 = co_await c.lock(*m);
+  }(&mu));
+  EXPECT_FALSE(mu.locked());
+}
+
+TEST(Sync, GroupWaitWithNoTasksDoesNotBlock) {
+  Runtime rt(sim_cfg(2));
+  bool done = false;
+  rt.run([](bool* d) -> TaskFn {
+    auto& c = co_await self();
+    TaskGroup empty;
+    co_await c.wait(empty);
+    *d = true;
+  }(&done));
+  EXPECT_TRUE(done);
+}
+
+TEST(Sync, GroupReusableAcrossPhases) {
+  Runtime rt(sim_cfg(4));
+  std::vector<int> counts(2, 0);
+  rt.run([](std::vector<int>* cnt) -> TaskFn {
+    auto& c = co_await self();
+    for (int phase = 0; phase < 2; ++phase) {
+      TaskGroup waitfor;
+      for (int i = 0; i < 10; ++i) {
+        c.spawn(Affinity::none(), waitfor, [](int* slot) -> TaskFn {
+          auto& cc = co_await self();
+          cc.work(50);
+          ++*slot;  // Serialized per phase by the join below.
+        }(&(*cnt)[static_cast<std::size_t>(phase)]));
+      }
+      co_await c.wait(waitfor);
+    }
+  }(&counts));
+  EXPECT_EQ(counts[0], 10);
+  EXPECT_EQ(counts[1], 10);
+}
+
+TEST(Sync, MultipleWaitersAllWake) {
+  Runtime rt(sim_cfg(4));
+  std::vector<int> woke(3, 0);
+  rt.run([](std::vector<int>* w) -> TaskFn {
+    auto& c = co_await self();
+    auto* inner = new TaskGroup;
+    TaskGroup outer;
+    // One slow producer in `inner`.
+    c.spawn(Affinity::none(), *inner, []() -> TaskFn {
+      auto& cc = co_await self();
+      cc.work(100000);
+    }());
+    // Three tasks that wait for `inner`.
+    for (int i = 0; i < 3; ++i) {
+      c.spawn(Affinity::none(), outer, [](TaskGroup* g, int* slot) -> TaskFn {
+        auto& cc = co_await self();
+        co_await cc.wait(*g);
+        *slot = 1;
+      }(inner, &(*w)[static_cast<std::size_t>(i)]));
+    }
+    co_await c.wait(outer);
+    delete inner;
+  }(&woke));
+  for (int v : woke) EXPECT_EQ(v, 1);
+}
+
+struct Slot {
+  Mutex mu;
+  Cond nonempty;
+  Cond nonfull;
+  bool full = false;
+  int value = 0;
+};
+
+TaskFn producer(Slot* s, int n) {
+  auto& c = co_await self();
+  for (int i = 1; i <= n; ++i) {
+    auto g = co_await c.lock(s->mu);
+    while (s->full) co_await c.wait(s->nonfull, s->mu);
+    s->value = i;
+    s->full = true;
+    s->nonempty.signal(c);
+  }
+}
+
+TaskFn consumer(Slot* s, int n, long* sum) {
+  auto& c = co_await self();
+  for (int i = 0; i < n; ++i) {
+    auto g = co_await c.lock(s->mu);
+    while (!s->full) co_await c.wait(s->nonempty, s->mu);
+    *sum += s->value;
+    s->full = false;
+    s->nonfull.signal(c);
+  }
+}
+
+TEST(Sync, CondProducerConsumer) {
+  Runtime rt(sim_cfg(4));
+  Slot slot;
+  long sum = 0;
+  const int n = 50;
+  rt.run([](Slot* s, long* out, int count) -> TaskFn {
+    auto& c = co_await self();
+    TaskGroup waitfor;
+    c.spawn(Affinity::none(), waitfor, producer(s, count));
+    c.spawn(Affinity::none(), waitfor, consumer(s, count, out));
+    co_await c.wait(waitfor);
+  }(&slot, &sum, n));
+  EXPECT_EQ(sum, static_cast<long>(n) * (n + 1) / 2);
+}
+
+TEST(Sync, CondBroadcastWakesEveryone) {
+  Runtime rt(sim_cfg(4));
+  struct Gate {
+    Mutex mu;
+    Cond cv;
+    bool open = false;
+  } gate;
+  std::vector<int> passed(5, 0);
+  rt.run([](Gate* g, std::vector<int>* p) -> TaskFn {
+    auto& c = co_await self();
+    TaskGroup waitfor;
+    for (int i = 0; i < 5; ++i) {
+      c.spawn(Affinity::none(), waitfor, [](Gate* gg, int* slot) -> TaskFn {
+        auto& cc = co_await self();
+        auto l = co_await cc.lock(gg->mu);
+        while (!gg->open) co_await cc.wait(gg->cv, gg->mu);
+        *slot = 1;
+      }(g, &(*p)[static_cast<std::size_t>(i)]));
+    }
+    // Opener.
+    c.spawn(Affinity::none(), waitfor, [](Gate* gg) -> TaskFn {
+      auto& cc = co_await self();
+      cc.work(50000);  // Let the waiters block first.
+      auto l = co_await cc.lock(gg->mu);
+      gg->open = true;
+      gg->cv.broadcast(cc);
+    }(g));
+    co_await c.wait(waitfor);
+  }(&gate, &passed));
+  for (int v : passed) EXPECT_EQ(v, 1);
+}
+
+TEST(Sync, CondWaitWithoutMutexThrows) {
+  Runtime rt(sim_cfg(1));
+  Mutex mu;
+  Cond cv;
+  EXPECT_THROW(rt.run([](Mutex* m, Cond* c0) -> TaskFn {
+    auto& c = co_await self();
+    co_await c.wait(*c0, *m);  // not holding m
+  }(&mu, &cv)),
+               util::Error);
+}
+
+TEST(Sync, UnlockWithoutHoldThrows) {
+  // Destroying a moved-from guard is fine; double unlock throws.
+  Runtime rt(sim_cfg(1));
+  Mutex mu;
+  EXPECT_THROW(rt.run([](Mutex* m) -> TaskFn {
+    auto& c = co_await self();
+    auto g = co_await c.lock(*m);
+    g.unlock();
+    (void)m->locked();  // fine
+    LockGuard manual(&c, m);  // constructs a guard for an unheld mutex
+    manual.unlock();          // throws: unlock of unheld mutex
+  }(&mu)),
+               util::Error);
+}
+
+}  // namespace
+}  // namespace cool

@@ -1,0 +1,83 @@
+#include "core/taskfn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cool.hpp"
+
+namespace cool {
+namespace {
+
+TaskFn noop() { co_return; }
+
+TaskFn set_flag(bool* flag) {
+  *flag = true;
+  co_return;
+}
+
+TEST(TaskFn, InvocationCreatesSuspendedCoroutine) {
+  bool ran = false;
+  TaskFn t = set_flag(&ran);
+  EXPECT_TRUE(t.valid());
+  EXPECT_FALSE(ran);  // initial_suspend: body has not started.
+}
+
+TEST(TaskFn, DestructionWithoutRunIsSafe) {
+  bool ran = false;
+  {
+    TaskFn t = set_flag(&ran);
+    (void)t;
+  }
+  EXPECT_FALSE(ran);
+}
+
+TEST(TaskFn, MoveTransfersOwnership) {
+  TaskFn a = noop();
+  TaskFn b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  TaskFn c;
+  c = std::move(b);
+  EXPECT_FALSE(b.valid());
+  EXPECT_TRUE(c.valid());
+}
+
+TEST(TaskFn, ReleaseHandsOverHandle) {
+  TaskFn t = noop();
+  auto h = t.release();
+  EXPECT_FALSE(t.valid());
+  ASSERT_TRUE(h);
+  h.destroy();
+}
+
+TEST(TaskFn, ArgumentsCopiedIntoFrame) {
+  // The argument value must survive the caller's scope.
+  int* out = new int(0);
+  TaskFn t = [](int v, int* dst) -> TaskFn {
+    *dst = v;
+    co_return;
+  }(41, out);
+  // Run it through a 1-proc runtime.
+  SystemConfig cfg;
+  cfg.machine = topo::MachineConfig::dash(1);
+  Runtime rt(cfg);
+  rt.run(std::move(t));
+  EXPECT_EQ(*out, 41);
+  delete out;
+}
+
+TEST(TaskFn, SelfAwaiterDoesNotSuspend) {
+  // A task that only grabs its context completes in one resume.
+  SystemConfig cfg;
+  cfg.machine = topo::MachineConfig::dash(1);
+  Runtime rt(cfg);
+  bool done = false;
+  rt.run([](bool* d) -> TaskFn {
+    auto& c = co_await self();
+    (void)c;
+    *d = true;
+  }(&done));
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace cool

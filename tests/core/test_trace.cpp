@@ -1,0 +1,134 @@
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/cool.hpp"
+
+namespace cool {
+namespace {
+
+Runtime traced_rt(std::uint32_t procs) {
+  SystemConfig sc;
+  sc.machine = topo::MachineConfig::dash(procs);
+  sc.trace = true;
+  return Runtime(sc);
+}
+
+TaskFn fanout(int n) {
+  auto& c = co_await self();
+  TaskGroup waitfor;
+  for (int i = 0; i < n; ++i) {
+    c.spawn(Affinity::none(), waitfor, []() -> TaskFn {
+      auto& cc = co_await self();
+      cc.work(1000);
+    }());
+  }
+  co_await c.wait(waitfor);
+}
+
+TEST(Trace, DisabledByDefault) {
+  SystemConfig sc;
+  sc.machine = topo::MachineConfig::dash(4);
+  Runtime rt(sc);
+  rt.run(fanout(8));
+  EXPECT_TRUE(rt.trace().empty());
+}
+
+TEST(Trace, RecordsOneSpanPerResume) {
+  Runtime rt = traced_rt(4);
+  rt.run(fanout(16));
+  // 16 children complete in one span each; the root has >= 2 spans (it
+  // blocks on the group wait).
+  const auto& tr = rt.trace();
+  std::uint64_t completed = 0;
+  for (const auto& e : tr) {
+    if (e.how == TraceEvent::End::kCompleted) ++completed;
+  }
+  EXPECT_EQ(completed, 17u);
+  EXPECT_GE(tr.size(), 18u);
+}
+
+TEST(Trace, SpansDoNotOverlapPerProcessor) {
+  Runtime rt = traced_rt(8);
+  rt.run(fanout(64));
+  std::map<topo::ProcId, std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      by_proc;
+  for (const auto& e : rt.trace()) {
+    EXPECT_LE(e.start, e.end);
+    by_proc[e.proc].push_back({e.start, e.end});
+  }
+  for (auto& [p, spans] : by_proc) {
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_GE(spans[i].first, spans[i - 1].second)
+          << "overlap on proc " << p;
+    }
+  }
+}
+
+TEST(Trace, BusyCyclesMatchUtilization) {
+  Runtime rt = traced_rt(4);
+  rt.run(fanout(32));
+  std::vector<std::uint64_t> traced_busy(4, 0);
+  for (const auto& e : rt.trace()) traced_busy[e.proc] += e.end - e.start;
+  const auto util = rt.utilization();
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ(traced_busy[static_cast<std::size_t>(p)],
+              util[static_cast<std::size_t>(p)].busy);
+  }
+}
+
+TEST(Trace, StolenSpansFlagged) {
+  Runtime rt = traced_rt(8);
+  // Hint-free tasks spawned from one proc: most get stolen by idle procs.
+  rt.run(fanout(32));
+  std::uint64_t stolen = 0;
+  for (const auto& e : rt.trace()) stolen += e.stolen ? 1 : 0;
+  EXPECT_GT(stolen, 0u);
+}
+
+TEST(Trace, BlockedSpanRecorded) {
+  Runtime rt = traced_rt(2);
+  Mutex mu;
+  rt.run([](Mutex* m) -> TaskFn {
+    auto& c = co_await self();
+    TaskGroup waitfor;
+    c.spawn(Affinity::none(), waitfor, [](Mutex* mm) -> TaskFn {
+      auto& cc = co_await self();
+      auto g = co_await cc.lock(*mm);
+      cc.work(5000);
+    }(m));
+    c.spawn(Affinity::none(), waitfor, [](Mutex* mm) -> TaskFn {
+      auto& cc = co_await self();
+      auto g = co_await cc.lock(*mm);  // contends -> blocked span
+      cc.work(10);
+    }(m));
+    co_await c.wait(waitfor);
+  }(&mu));
+  bool saw_blocked = false;
+  for (const auto& e : rt.trace()) {
+    saw_blocked |= e.how == TraceEvent::End::kBlocked;
+  }
+  EXPECT_TRUE(saw_blocked);
+}
+
+TEST(Trace, ReportRendersAllProcessors) {
+  Runtime rt = traced_rt(4);
+  rt.run(fanout(32));
+  const std::string report =
+      render_trace_report(rt.trace(), 4, rt.sim_time(), 32);
+  for (const char* label : {"p0", "p1", "p2", "p3", "busy%", "timeline"}) {
+    EXPECT_NE(report.find(label), std::string::npos) << label;
+  }
+}
+
+TEST(Trace, ReportHandlesEmptyTrace) {
+  const std::string report = render_trace_report({}, 2, 0, 16);
+  EXPECT_NE(report.find("p0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cool

@@ -1,0 +1,114 @@
+// Property tests on the memory system: drive random access sequences through
+// the model and check the structural invariants that must hold after every
+// operation, independent of the workload.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "memsim/memsystem.hpp"
+
+namespace cool::mem {
+namespace {
+
+struct Params {
+  std::uint32_t procs;
+  int ops;
+  std::uint64_t seed;
+};
+
+class CoherenceProperty : public ::testing::TestWithParam<Params> {};
+
+TEST_P(CoherenceProperty, InvariantsHoldUnderRandomTraffic) {
+  const Params prm = GetParam();
+  topo::MachineConfig machine = topo::MachineConfig::dash(prm.procs);
+  machine.l1_bytes = 4 * 1024;   // small caches force evictions
+  machine.l2_bytes = 16 * 1024;
+  MemorySystem ms(machine);
+  // Half the space pre-bound round-robin; the rest first-touch.
+  for (int i = 0; i < 16; ++i) {
+    ms.bind_range(0x100000 + static_cast<std::uint64_t>(i) * 4096, 4096,
+                  static_cast<topo::ProcId>(i % prm.procs));
+  }
+
+  util::Rng rng(prm.seed);
+  std::uint64_t now = 0;
+  for (int op = 0; op < prm.ops; ++op) {
+    const auto p = static_cast<topo::ProcId>(rng.next_below(prm.procs));
+    const std::uint64_t addr =
+        0x100000 + (rng.next_below(64 * 1024) & ~7ull);
+    const bool write = rng.next_below(3) == 0;
+    const std::uint64_t bytes = 8ull << rng.next_below(4);  // 8..64 bytes
+    if (rng.next_below(20) == 0) {
+      ms.prefetch(p, addr, bytes, now);
+    } else if (rng.next_below(50) == 0) {
+      ms.migrate(p, addr, bytes,
+                 static_cast<topo::ProcId>(rng.next_below(prm.procs)));
+    } else {
+      ms.access(p, addr, bytes, write, now);
+    }
+    now += rng.next_below(40);
+  }
+
+  // Invariant 1: every directory entry has at least one sharer, and a dirty
+  // entry's owner is one of its sharers (and the only one).
+  for (const auto& [line, st] : ms.directory().entries()) {
+    EXPECT_TRUE(st.is_cached()) << line;
+    if (st.is_dirty()) {
+      EXPECT_TRUE(st.has_sharer(st.dirty_owner)) << line;
+      EXPECT_EQ(st.sharer_count(), 1) << line;
+    }
+  }
+
+  // Invariant 2: the service classification is exhaustive.
+  const ProcCounters t = ms.monitor().total();
+  std::uint64_t serviced = 0;
+  for (int s = 0; s < kNumServices; ++s) serviced += t.serviced[s];
+  EXPECT_EQ(serviced, t.accesses());
+
+  // Invariant 3: local + remote misses == all misses.
+  EXPECT_EQ(t.local_misses() + t.remote_misses(), t.misses());
+
+  // Invariant 4: invalidations received == invalidations sent plus migration
+  // flushes (each kill is recorded on both sides except self-invalidations
+  // during migrate, which only count as received).
+  EXPECT_GE(t.invals_received, t.invals_sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CoherenceProperty,
+    ::testing::Values(Params{2, 2000, 11}, Params{4, 5000, 12},
+                      Params{8, 5000, 13}, Params{32, 8000, 14},
+                      Params{64, 8000, 15}, Params{32, 20000, 16}));
+
+// After any traffic, flushing all caches must empty the directory.
+TEST(CoherenceFlush, FlushEmptiesDirectory) {
+  topo::MachineConfig machine = topo::MachineConfig::dash(8);
+  MemorySystem ms(machine);
+  util::Rng rng(3);
+  for (int i = 0; i < 3000; ++i) {
+    ms.access(static_cast<topo::ProcId>(rng.next_below(8)),
+              0x100000 + (rng.next_below(1 << 16) & ~7ull), 8,
+              rng.next_below(2) == 0, static_cast<std::uint64_t>(i) * 7);
+  }
+  ms.flush_all_caches();
+  EXPECT_EQ(ms.directory().n_entries(), 0u);
+  // Next access misses again.
+  ms.access(0, 0x100000, 8, false, 1 << 20);
+  EXPECT_GE(ms.monitor().proc(0).misses(), 1u);
+}
+
+// Reading after a write by another processor always returns through a path
+// that ends with the reader registered as a sharer.
+TEST(CoherenceHandoff, ReaderBecomesSharerAfterDirtyForward) {
+  topo::MachineConfig machine = topo::MachineConfig::dash(8);
+  MemorySystem ms(machine);
+  ms.bind_range(0x200000, 4096, 0);
+  for (topo::ProcId w = 0; w < 8; ++w) {
+    ms.access(w, 0x200000, 8, true, w * 1000ull);  // each write takes ownership
+    const auto st = ms.directory().peek(machine.line_of(0x200000));
+    EXPECT_EQ(st.dirty_owner, w);
+    EXPECT_EQ(st.sharer_count(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace cool::mem

@@ -1,0 +1,91 @@
+#include "memsim/directory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cool::mem {
+namespace {
+
+TEST(Directory, UncachedByDefault) {
+  Directory d;
+  const LineState st = d.peek(42);
+  EXPECT_FALSE(st.is_cached());
+  EXPECT_FALSE(st.is_dirty());
+  EXPECT_EQ(st.sharer_count(), 0);
+  EXPECT_EQ(d.n_entries(), 0u);
+}
+
+TEST(Directory, AddRemoveSharers) {
+  Directory d;
+  d.add_sharer(7, 3);
+  d.add_sharer(7, 9);
+  EXPECT_TRUE(d.peek(7).has_sharer(3));
+  EXPECT_TRUE(d.peek(7).has_sharer(9));
+  EXPECT_EQ(d.peek(7).sharer_count(), 2);
+
+  d.remove_sharer(7, 3);
+  EXPECT_FALSE(d.peek(7).has_sharer(3));
+  EXPECT_EQ(d.peek(7).sharer_count(), 1);
+}
+
+TEST(Directory, EntryReclaimedWhenLastSharerLeaves) {
+  Directory d;
+  d.add_sharer(7, 3);
+  EXPECT_EQ(d.n_entries(), 1u);
+  d.remove_sharer(7, 3);
+  EXPECT_EQ(d.n_entries(), 0u);
+}
+
+TEST(Directory, SetDirtyMakesExclusiveOwner) {
+  Directory d;
+  d.add_sharer(5, 1);
+  d.add_sharer(5, 2);
+  d.set_dirty(5, 2);
+  const LineState st = d.peek(5);
+  EXPECT_TRUE(st.is_dirty());
+  EXPECT_EQ(st.dirty_owner, 2u);
+  EXPECT_EQ(st.sharer_count(), 1);  // only the owner remains
+  EXPECT_TRUE(st.has_sharer(2));
+  EXPECT_FALSE(st.has_sharer(1));
+}
+
+TEST(Directory, ClearDirtyKeepsSharer) {
+  Directory d;
+  d.set_dirty(5, 2);
+  d.clear_dirty(5);
+  const LineState st = d.peek(5);
+  EXPECT_FALSE(st.is_dirty());
+  EXPECT_TRUE(st.has_sharer(2));
+}
+
+TEST(Directory, RemovingDirtyOwnerClearsDirty) {
+  Directory d;
+  d.set_dirty(5, 2);
+  d.remove_sharer(5, 2);
+  EXPECT_FALSE(d.peek(5).is_dirty());
+  EXPECT_FALSE(d.peek(5).is_cached());
+}
+
+TEST(Directory, RemoveSharerOnAbsentLineIsNoop) {
+  Directory d;
+  d.remove_sharer(99, 0);
+  EXPECT_EQ(d.n_entries(), 0u);
+}
+
+TEST(Directory, HighProcIds) {
+  Directory d;
+  d.add_sharer(1, 63);
+  EXPECT_TRUE(d.peek(1).has_sharer(63));
+  d.set_dirty(1, 63);
+  EXPECT_EQ(d.peek(1).dirty_owner, 63u);
+}
+
+TEST(Directory, ClearDropsEverything) {
+  Directory d;
+  for (LineAddr l = 0; l < 100; ++l) d.add_sharer(l, static_cast<topo::ProcId>(l % 8));
+  EXPECT_EQ(d.n_entries(), 100u);
+  d.clear();
+  EXPECT_EQ(d.n_entries(), 0u);
+}
+
+}  // namespace
+}  // namespace cool::mem

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "memsim/memsystem.hpp"
+
+namespace cool::mem {
+namespace {
+
+class PrefetchTest : public ::testing::Test {
+ protected:
+  PrefetchTest() : machine_(topo::MachineConfig::dash()), ms_(machine_) {
+    ms_.bind_range(kAddr, 1 << 16, 8);  // homed on a remote cluster for proc 0
+  }
+  static constexpr std::uint64_t kAddr = 0x100000;
+  topo::MachineConfig machine_;
+  MemorySystem ms_;
+};
+
+TEST_F(PrefetchTest, BringsLinesIn) {
+  const auto brought = ms_.prefetch(0, kAddr, 256, 0);  // 16 lines
+  EXPECT_EQ(brought, 16u);
+  EXPECT_EQ(ms_.monitor().proc(0).prefetches, 16u);
+  // Subsequent demand access hits L1.
+  const auto lat = ms_.access(0, kAddr, 8, false, 0);
+  EXPECT_EQ(lat, machine_.lat.l1_hit);
+  EXPECT_EQ(ms_.monitor().proc(0).remote_misses(), 0u);
+}
+
+TEST_F(PrefetchTest, AlreadyCachedLinesSkipped) {
+  ms_.access(0, kAddr, 256, false, 0);
+  EXPECT_EQ(ms_.prefetch(0, kAddr, 256, 0), 0u);
+}
+
+TEST_F(PrefetchTest, DirtyRemoteLinesSkipped) {
+  ms_.access(5, kAddr, 16, true, 0);  // proc 5 dirties line 0
+  const auto brought = ms_.prefetch(0, kAddr, 32, 0);  // 2 lines
+  EXPECT_EQ(brought, 1u);  // only the clean second line
+  // Demand access to the dirty line still forwards from the owner's cache.
+  ms_.access(0, kAddr, 8, false, 100);
+  const auto& c = ms_.monitor().proc(0);
+  EXPECT_EQ(c.serviced[static_cast<int>(Service::kRemoteCache)] +
+                c.serviced[static_cast<int>(Service::kLocalCache)],
+            1u);
+}
+
+TEST_F(PrefetchTest, SharerRegisteredInDirectory) {
+  ms_.prefetch(3, kAddr, 16, 0);
+  EXPECT_TRUE(ms_.directory().peek(machine_.line_of(kAddr)).has_sharer(3));
+  // A later write by another processor invalidates the prefetched copy.
+  ms_.access(9, kAddr, 8, true, 0);
+  EXPECT_FALSE(ms_.directory().peek(machine_.line_of(kAddr)).has_sharer(3));
+  EXPECT_EQ(ms_.monitor().proc(3).invals_received, 1u);
+}
+
+TEST_F(PrefetchTest, BadArgsThrow) {
+  EXPECT_THROW(ms_.prefetch(99, kAddr, 16, 0), util::Error);
+  EXPECT_THROW(ms_.prefetch(0, kAddr, 0, 0), util::Error);
+}
+
+}  // namespace
+}  // namespace cool::mem

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sched/scheduler.hpp"
+
+namespace cool::sched {
+namespace {
+
+class MultiObjectPlacement : public ::testing::Test {
+ protected:
+  MultiObjectPlacement() : machine_(topo::MachineConfig::dash()) {}
+
+  Scheduler make(Policy p = Policy{}) {
+    return Scheduler(machine_, p, [this](std::uint64_t a, topo::ProcId) {
+      const auto it = homes_.find(a & ~4095ull);
+      return it != homes_.end() ? it->second : topo::ProcId{0};
+    });
+  }
+
+  topo::MachineConfig machine_;
+  std::map<std::uint64_t, topo::ProcId> homes_;
+};
+
+TEST_F(MultiObjectPlacement, FollowsTheBytes) {
+  auto s = make();
+  homes_[0x10000] = 4;   // small object's page
+  homes_[0x20000] = 11;  // large object's page
+  TaskDesc t;
+  t.aff = Affinity::objects({Affinity::ObjRef{0x10008, 128},
+                             Affinity::ObjRef{0x20008, 4096}});
+  EXPECT_EQ(s.place(&t, 0), 11u);
+  EXPECT_EQ(s.stats().placed_multi, 1u);
+}
+
+TEST_F(MultiObjectPlacement, AggregatesBytesPerHome) {
+  auto s = make();
+  homes_[0x10000] = 4;
+  homes_[0x20000] = 4;   // two smaller objects share a home...
+  homes_[0x30000] = 11;  // ...outweighing one larger object elsewhere
+  TaskDesc t;
+  t.aff = Affinity::objects({Affinity::ObjRef{0x10008, 300},
+                             Affinity::ObjRef{0x20008, 300},
+                             Affinity::ObjRef{0x30008, 500}});
+  EXPECT_EQ(s.place(&t, 0), 4u);
+}
+
+TEST_F(MultiObjectPlacement, DisabledFallsBackToFirstObject) {
+  Policy p;
+  p.multi_object_placement = false;
+  auto s = make(p);
+  homes_[0x10000] = 4;
+  homes_[0x20000] = 11;
+  TaskDesc t;
+  t.aff = Affinity::objects({Affinity::ObjRef{0x10008, 128},
+                             Affinity::ObjRef{0x20008, 4096}});
+  // The paper's current behaviour: "schedule the task based on the first".
+  EXPECT_EQ(s.place(&t, 0), 4u);
+  EXPECT_EQ(s.stats().placed_multi, 0u);
+  EXPECT_EQ(s.stats().placed_object, 1u);
+}
+
+TEST_F(MultiObjectPlacement, SingleObjectListBehavesLikeObjectAffinity) {
+  auto s = make();
+  homes_[0x10000] = 7;
+  TaskDesc t;
+  t.aff = Affinity::objects({Affinity::ObjRef{0x10008, 64}});
+  EXPECT_EQ(s.place(&t, 0), 7u);
+  // One object: no heuristic needed.
+  EXPECT_EQ(s.stats().placed_object, 1u);
+}
+
+TEST_F(MultiObjectPlacement, ProcessorHintStillWins) {
+  auto s = make();
+  homes_[0x10000] = 4;
+  TaskDesc t;
+  t.aff = Affinity::objects({Affinity::ObjRef{0x10008, 64}});
+  t.aff.proc_hint = 9;
+  EXPECT_EQ(s.place(&t, 0), 9u);
+}
+
+TEST_F(MultiObjectPlacement, BaseModeIgnoresMultiToo) {
+  Policy p;
+  p.honor_affinity = false;
+  auto s = make(p);
+  homes_[0x20000] = 11;
+  TaskDesc a, b;
+  a.aff = Affinity::objects({Affinity::ObjRef{0x20008, 4096}});
+  b.aff = a.aff;
+  EXPECT_EQ(s.place(&a, 0), 0u);  // round robin
+  EXPECT_EQ(s.place(&b, 0), 1u);
+}
+
+TEST_F(MultiObjectPlacement, TiesGoToFirstSeenBest) {
+  auto s = make();
+  homes_[0x10000] = 2;
+  homes_[0x20000] = 6;
+  TaskDesc t;
+  t.aff = Affinity::objects({Affinity::ObjRef{0x10008, 100},
+                             Affinity::ObjRef{0x20008, 100}});
+  // Equal bytes: the first-listed object's home wins (stable, documented).
+  EXPECT_EQ(s.place(&t, 0), 2u);
+}
+
+}  // namespace
+}  // namespace cool::sched

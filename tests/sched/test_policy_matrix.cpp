@@ -1,0 +1,164 @@
+// Property test across the scheduling-policy space: whatever the policy,
+// every spawned task must execute exactly once, the program result must be
+// unchanged, and policy-specific invariants (cluster confinement, pin
+// respect) must hold.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "core/cool.hpp"
+
+namespace cool {
+namespace {
+
+struct PolicyCase {
+  std::string name;
+  sched::Policy pol;
+};
+
+std::vector<PolicyCase> policy_matrix() {
+  std::vector<PolicyCase> cases;
+  sched::Policy base;
+  cases.push_back({"default", base});
+  {
+    auto p = base;
+    p.steal_enabled = false;
+    cases.push_back({"no_steal", p});
+  }
+  {
+    auto p = base;
+    p.steal_whole_sets = false;
+    cases.push_back({"no_set_steal", p});
+  }
+  {
+    auto p = base;
+    p.steal_object_tasks = true;
+    p.steal_pinned_sets = true;
+    cases.push_back({"steal_everything", p});
+  }
+  {
+    auto p = base;
+    p.cluster_first = true;
+    cases.push_back({"cluster_first", p});
+  }
+  {
+    auto p = base;
+    p.steal_object_tasks = true;
+    p.steal_pinned_sets = true;
+    p.cluster_only = true;
+    cases.push_back({"cluster_only", p});
+  }
+  {
+    auto p = base;
+    p.honor_affinity = false;
+    cases.push_back({"base_mode", p});
+  }
+  {
+    auto p = base;
+    p.affinity_array_size = 1;
+    cases.push_back({"tiny_array", p});
+  }
+  {
+    auto p = base;
+    p.affinity_array_size = 509;
+    cases.push_back({"huge_array", p});
+  }
+  return cases;
+}
+
+TaskFn mixed_task(std::vector<std::atomic<int>>* slots, int i, double* blob) {
+  auto& c = co_await self();
+  c.read(&blob[i * 32], 256);
+  c.work(200);
+  (*slots)[static_cast<std::size_t>(i)].fetch_add(1);
+}
+
+class PolicyMatrix : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolicyMatrix, EveryTaskRunsOnceUnderEveryPolicy) {
+  const PolicyCase pc =
+      policy_matrix()[static_cast<std::size_t>(GetParam())];
+  SystemConfig sc;
+  sc.machine = topo::MachineConfig::dash(16);
+  sc.policy = pc.pol;
+  Runtime rt(sc);
+  const int n = 300;
+  double* blob = rt.alloc_array<double>(32 * static_cast<std::size_t>(n), 0);
+  // Spread homes.
+  for (int i = 0; i < n; ++i) {
+    rt.migrate(&blob[i * 32], i % 16, 256);
+  }
+  std::vector<std::atomic<int>> slots(static_cast<std::size_t>(n));
+
+  rt.run([](std::vector<std::atomic<int>>* s, double* b, int count) -> TaskFn {
+    auto& c = co_await self();
+    TaskGroup waitfor;
+    for (int i = 0; i < count; ++i) {
+      Affinity aff;
+      switch (i % 4) {
+        case 0:
+          aff = Affinity::none();
+          break;
+        case 1:
+          aff = Affinity::object(&b[i * 32]);
+          break;
+        case 2:
+          aff = Affinity::task(&b[(i % 9) * 32]);
+          break;
+        default:
+          aff = Affinity::processor(i);
+          break;
+      }
+      c.spawn(aff, waitfor, mixed_task(s, i, b));
+    }
+    co_await c.wait(waitfor);
+  }(&slots, blob, n));
+
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(slots[static_cast<std::size_t>(i)].load(), 1)
+        << pc.name << " task " << i;
+  }
+  EXPECT_EQ(rt.tasks_completed(), static_cast<std::uint64_t>(n) + 1)
+      << pc.name;
+
+  const auto& ss = rt.sched_stats();
+  if (!pc.pol.steal_enabled) {
+    EXPECT_EQ(ss.tasks_stolen, 0u) << pc.name;
+  }
+  if (pc.pol.cluster_only) {
+    EXPECT_EQ(ss.remote_cluster_steals, 0u) << pc.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyMatrix,
+                         ::testing::Range(0, 9), [](const auto& pinfo) {
+                           return policy_matrix()
+                               [static_cast<std::size_t>(pinfo.param)]
+                                   .name;
+                         });
+
+TEST(PolicyMatrixReport, ReportMentionsKeyNumbers) {
+  SystemConfig sc;
+  sc.machine = topo::MachineConfig::dash(8);
+  Runtime rt(sc);
+  rt.run([]() -> TaskFn {
+    auto& c = co_await self();
+    TaskGroup waitfor;
+    for (int i = 0; i < 16; ++i) {
+      c.spawn(Affinity::none(), waitfor, []() -> TaskFn {
+        auto& cc = co_await self();
+        cc.work(500);
+      }());
+    }
+    co_await c.wait(waitfor);
+  }());
+  const std::string rep = rt.report();
+  EXPECT_NE(rep.find("tasks completed: 17"), std::string::npos) << rep;
+  EXPECT_NE(rep.find("simulated DASH"), std::string::npos);
+  EXPECT_NE(rep.find("load balance"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cool

@@ -1,0 +1,190 @@
+#include "sched/queues.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cool::sched {
+namespace {
+
+TaskDesc make_task(std::uint64_t seq, Affinity aff = Affinity::none()) {
+  TaskDesc t;
+  t.seq = seq;
+  t.aff = aff;
+  if (aff.has_task()) t.aff_key = aff.task_obj / 16;
+  return t;
+}
+
+TEST(ServerQueues, EmptyPopsNull) {
+  ServerQueues q(8);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pop(), nullptr);
+  EXPECT_EQ(q.steal_object_task(), nullptr);
+  EXPECT_TRUE(q.steal_set().empty());
+}
+
+TEST(ServerQueues, ObjectQueueFifo) {
+  ServerQueues q(8);
+  TaskDesc a = make_task(1), b = make_task(2), c = make_task(3);
+  q.push(&a);
+  q.push(&b);
+  q.push(&c);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop()->seq, 1u);
+  EXPECT_EQ(q.pop()->seq, 2u);
+  EXPECT_EQ(q.pop()->seq, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ServerQueues, ResumedTasksJumpTheLine) {
+  ServerQueues q(8);
+  TaskDesc a = make_task(1), b = make_task(2);
+  q.push(&a);
+  q.push_resumed(&b);
+  EXPECT_EQ(q.pop()->seq, 2u);
+  EXPECT_EQ(q.pop()->seq, 1u);
+}
+
+TEST(ServerQueues, AffinitySetsServicedBackToBack) {
+  ServerQueues q(64);
+  alignas(64) int objA = 0;
+  alignas(64) int objB = 0;
+  // Interleave spawns from two affinity sets.
+  std::vector<TaskDesc> tasks;
+  tasks.reserve(6);
+  for (int i = 0; i < 3; ++i) {
+    tasks.push_back(make_task(2 * static_cast<std::uint64_t>(i),
+                              Affinity::task(&objA)));
+    tasks.push_back(make_task(2 * static_cast<std::uint64_t>(i) + 1,
+                              Affinity::task(&objB)));
+  }
+  ServerQueues q2(64);
+  for (auto& t : tasks) q2.push(&t);
+
+  // Dequeue order must drain one whole set before the other.
+  std::vector<std::uint64_t> keys;
+  while (TaskDesc* t = q2.pop()) keys.push_back(t->aff_key);
+  ASSERT_EQ(keys.size(), 6u);
+  EXPECT_EQ(keys[0], keys[1]);
+  EXPECT_EQ(keys[1], keys[2]);
+  EXPECT_EQ(keys[3], keys[4]);
+  EXPECT_EQ(keys[4], keys[5]);
+  EXPECT_NE(keys[0], keys[3]);
+  (void)q;
+}
+
+TEST(ServerQueues, AffinityBeforeObjectQueue) {
+  ServerQueues q(8);
+  int obj = 0;
+  TaskDesc plain = make_task(1);
+  TaskDesc aff = make_task(2, Affinity::task(&obj));
+  q.push(&plain);
+  q.push(&aff);
+  EXPECT_EQ(q.pop()->seq, 2u);  // Affinity sets drain first.
+  EXPECT_EQ(q.pop()->seq, 1u);
+}
+
+TEST(ServerQueues, StealSetTakesWholeSet) {
+  ServerQueues q(64);
+  alignas(64) int objA = 0;
+  alignas(64) int objB = 0;
+  std::vector<TaskDesc> tasks;
+  tasks.reserve(4);
+  tasks.push_back(make_task(0, Affinity::task(&objA)));
+  tasks.push_back(make_task(1, Affinity::task(&objA)));
+  tasks.push_back(make_task(2, Affinity::task(&objB)));
+  tasks.push_back(make_task(3, Affinity::task(&objB)));
+  ServerQueues v(64);
+  for (auto& t : tasks) v.push(&t);
+
+  const auto set = v.steal_set();
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set[0]->aff_key, set[1]->aff_key);
+  EXPECT_TRUE(set[0]->stolen);
+  EXPECT_EQ(v.size(), 2u);
+  (void)q;
+}
+
+TEST(ServerQueues, StealSetAvoidsActiveSet) {
+  ServerQueues q(64);
+  alignas(64) int objA = 0;
+  alignas(64) int objB = 0;
+  TaskDesc a1 = make_task(0, Affinity::task(&objA));
+  TaskDesc a2 = make_task(1, Affinity::task(&objA));
+  TaskDesc b1 = make_task(2, Affinity::task(&objB));
+  q.push(&a1);
+  q.push(&a2);
+  q.push(&b1);
+  // Owner starts draining set A.
+  TaskDesc* first = q.pop();
+  ASSERT_EQ(first, &a1);
+  // Thief should get set B, not the remainder of A.
+  const auto set = q.steal_set();
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set[0], &b1);
+  // Owner continues with a2 back-to-back.
+  EXPECT_EQ(q.pop(), &a2);
+}
+
+TEST(ServerQueues, StealObjectTaskFromBack) {
+  ServerQueues q(8);
+  TaskDesc a = make_task(1), b = make_task(2);
+  q.push(&a);
+  q.push(&b);
+  TaskDesc* t = q.steal_object_task();
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->seq, 2u);  // Steal the youngest; owner keeps the oldest.
+  EXPECT_TRUE(t->stolen);
+  EXPECT_EQ(q.pop()->seq, 1u);
+}
+
+TEST(ServerQueues, AdoptKeepsSetTogether) {
+  ServerQueues victim(64), thief(64);
+  int obj = 0;
+  std::vector<TaskDesc> tasks;
+  tasks.reserve(3);
+  for (int i = 0; i < 3; ++i) {
+    tasks.push_back(make_task(static_cast<std::uint64_t>(i),
+                              Affinity::task(&obj)));
+  }
+  for (auto& t : tasks) victim.push(&t);
+  const auto set = victim.steal_set();
+  thief.adopt(set, 5);
+  EXPECT_EQ(thief.size(), 3u);
+  for (auto* t : set) EXPECT_EQ(t->server, 5u);
+  // FIFO order preserved inside the set.
+  EXPECT_EQ(thief.pop()->seq, 0u);
+  EXPECT_EQ(thief.pop()->seq, 1u);
+  EXPECT_EQ(thief.pop()->seq, 2u);
+}
+
+TEST(ServerQueues, CollisionsShareOneQueue) {
+  // Array of size 1: every affinity set collides on the same queue.
+  ServerQueues q(1);
+  int objA = 0, objB = 0;
+  TaskDesc a = make_task(0, Affinity::task(&objA));
+  TaskDesc b = make_task(1, Affinity::task(&objB));
+  q.push(&a);
+  q.push(&b);
+  EXPECT_EQ(q.n_nonempty_affinity_queues(), 1u);
+  EXPECT_EQ(q.pop()->seq, 0u);
+  EXPECT_EQ(q.pop()->seq, 1u);
+}
+
+TEST(ServerQueues, NonemptyTracking) {
+  ServerQueues q(64);
+  int obj = 0;
+  TaskDesc a = make_task(0, Affinity::task(&obj));
+  EXPECT_EQ(q.n_nonempty_affinity_queues(), 0u);
+  q.push(&a);
+  EXPECT_EQ(q.n_nonempty_affinity_queues(), 1u);
+  q.pop();
+  EXPECT_EQ(q.n_nonempty_affinity_queues(), 0u);
+}
+
+TEST(ServerQueues, ZeroSlotArrayThrows) {
+  EXPECT_THROW(ServerQueues(0), util::Error);
+}
+
+}  // namespace
+}  // namespace cool::sched

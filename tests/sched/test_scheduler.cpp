@@ -1,0 +1,252 @@
+#include "sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cool::sched {
+namespace {
+
+// A home resolver mapping addresses to processors by page, round-robin.
+struct FakeHome {
+  topo::MachineConfig machine;
+  std::map<std::uint64_t, topo::ProcId> fixed;
+
+  topo::ProcId operator()(std::uint64_t addr, topo::ProcId toucher) const {
+    const auto it = fixed.find(addr & ~4095ull);
+    if (it != fixed.end()) return it->second;
+    return toucher;
+  }
+};
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : machine_(topo::MachineConfig::dash()) {}
+
+  Scheduler make(Policy p = Policy{}) {
+    return Scheduler(machine_, p, [this](std::uint64_t a, topo::ProcId t) {
+      return home_(a, t);
+    });
+  }
+
+  topo::MachineConfig machine_;
+  FakeHome home_{topo::MachineConfig::dash(), {}};
+};
+
+TEST_F(SchedulerTest, ProcessorAffinityModuloP) {
+  auto s = make();
+  TaskDesc t;
+  t.aff = Affinity::processor(35);  // 35 mod 32 == 3
+  EXPECT_EQ(s.place(&t, 0), 3u);
+  EXPECT_EQ(s.stats().placed_processor, 1u);
+}
+
+TEST_F(SchedulerTest, ObjectAffinityGoesHome) {
+  auto s = make();
+  home_.fixed[0x10000] = 17;
+  TaskDesc t;
+  t.aff = Affinity::object(reinterpret_cast<void*>(0x10008));
+  EXPECT_EQ(s.place(&t, 0), 17u);
+  EXPECT_EQ(s.stats().placed_object, 1u);
+}
+
+TEST_F(SchedulerTest, TaskAffinityGoesToTaskObjectHome) {
+  auto s = make();
+  home_.fixed[0x20000] = 9;
+  TaskDesc t;
+  t.aff = Affinity::task(reinterpret_cast<void*>(0x20010));
+  EXPECT_EQ(s.place(&t, 0), 9u);
+  EXPECT_EQ(s.stats().placed_task, 1u);
+  EXPECT_NE(t.aff_key, 0u);
+}
+
+TEST_F(SchedulerTest, TaskObjectUsesObjectForServerTaskForKey) {
+  auto s = make();
+  home_.fixed[0x20000] = 9;
+  home_.fixed[0x30000] = 21;
+  TaskDesc t;
+  t.aff = Affinity::task_object(reinterpret_cast<void*>(0x20010),
+                                reinterpret_cast<void*>(0x30010));
+  EXPECT_EQ(s.place(&t, 0), 21u);  // OBJECT decides the server.
+  EXPECT_EQ(t.aff_key, 0x20010ull / machine_.line_bytes);  // TASK decides set.
+}
+
+TEST_F(SchedulerTest, NoHintsStayLocal) {
+  auto s = make();
+  TaskDesc t;
+  EXPECT_EQ(s.place(&t, 13), 13u);
+  EXPECT_EQ(s.stats().placed_local, 1u);
+}
+
+TEST_F(SchedulerTest, BaseModeIgnoresHintsRoundRobin) {
+  Policy p;
+  p.honor_affinity = false;
+  auto s = make(p);
+  home_.fixed[0x10000] = 17;
+  std::vector<topo::ProcId> servers;
+  for (int i = 0; i < 4; ++i) {
+    auto* t = new TaskDesc;
+    t->aff = Affinity::object(reinterpret_cast<void*>(0x10008));
+    servers.push_back(s.place(t, 0));
+  }
+  EXPECT_EQ(servers, (std::vector<topo::ProcId>{0, 1, 2, 3}));
+  EXPECT_EQ(s.stats().placed_round_robin, 4u);
+}
+
+TEST_F(SchedulerTest, AcquirePrefersLocal) {
+  auto s = make();
+  TaskDesc t;
+  s.place(&t, 5);
+  const auto acq = s.acquire(5);
+  EXPECT_EQ(acq.task, &t);
+  EXPECT_FALSE(acq.stolen);
+}
+
+TEST_F(SchedulerTest, IdleProcessorSteals) {
+  auto s = make();
+  TaskDesc t;
+  s.place(&t, 5);
+  const auto acq = s.acquire(20);
+  EXPECT_EQ(acq.task, &t);
+  EXPECT_TRUE(acq.stolen);
+  EXPECT_TRUE(acq.stolen_remote_cluster);  // 20 and 5 are in other clusters.
+  EXPECT_EQ(s.stats().remote_cluster_steals, 1u);
+}
+
+TEST_F(SchedulerTest, StealDisabled) {
+  Policy p;
+  p.steal_enabled = false;
+  auto s = make(p);
+  TaskDesc t;
+  s.place(&t, 5);
+  EXPECT_EQ(s.acquire(20).task, nullptr);
+  EXPECT_TRUE(s.any_work());
+}
+
+TEST_F(SchedulerTest, ClusterOnlyNeverLeavesCluster) {
+  Policy p;
+  p.cluster_only = true;
+  auto s = make(p);
+  TaskDesc t;
+  s.place(&t, 5);  // cluster 1
+  EXPECT_EQ(s.acquire(20).task, nullptr);  // cluster 5: may not steal
+  const auto acq = s.acquire(6);           // cluster 1: may
+  EXPECT_EQ(acq.task, &t);
+  EXPECT_FALSE(acq.stolen_remote_cluster);
+}
+
+TEST_F(SchedulerTest, ClusterFirstPrefersNearVictim) {
+  Policy p;
+  p.cluster_first = true;
+  auto s = make(p);
+  TaskDesc near_t, far_t;
+  s.place(&near_t, 6);  // cluster 1 (thief will be proc 5)
+  s.place(&far_t, 20);  // cluster 5
+  const auto acq = s.acquire(5);
+  EXPECT_EQ(acq.task, &near_t);
+  EXPECT_FALSE(acq.stolen_remote_cluster);
+  // Far work still reachable once the cluster is dry.
+  const auto acq2 = s.acquire(5);
+  EXPECT_EQ(acq2.task, &far_t);
+  EXPECT_TRUE(acq2.stolen_remote_cluster);
+}
+
+TEST_F(SchedulerTest, ObjectTasksNotStolenWhenPolicyForbids) {
+  Policy p;
+  p.steal_object_tasks = false;
+  auto s = make(p);
+  TaskDesc t;
+  t.aff = Affinity::object(reinterpret_cast<void*>(0x10008));
+  home_.fixed[0x10000] = 5;
+  s.place(&t, 0);
+  EXPECT_EQ(s.acquire(20).task, nullptr);  // cannot steal it
+  EXPECT_EQ(s.acquire(5).task, &t);        // owner still runs it
+}
+
+TEST_F(SchedulerTest, WholeSetStealMovesSetTogether) {
+  auto s = make();
+  home_.fixed[0x20000] = 5;
+  std::vector<TaskDesc> tasks(3);
+  for (auto& t : tasks) {
+    t.aff = Affinity::task(reinterpret_cast<void*>(0x20010));
+    s.place(&t, 0);
+  }
+  const auto acq = s.acquire(20);
+  ASSERT_NE(acq.task, nullptr);
+  EXPECT_TRUE(acq.stolen);
+  EXPECT_EQ(s.stats().set_steals, 1u);
+  // The rest of the set is now local to the thief.
+  EXPECT_TRUE(s.has_local_work(20));
+  EXPECT_FALSE(s.acquire(20).stolen);
+}
+
+TEST_F(SchedulerTest, ResumedGoesToFrontOfItsServer) {
+  auto s = make();
+  TaskDesc a, b;
+  s.place(&a, 5);
+  b.server = 5;
+  s.enqueue_resumed(&b);
+  EXPECT_EQ(s.acquire(5).task, &b);
+  EXPECT_EQ(s.acquire(5).task, &a);
+}
+
+TEST_F(SchedulerTest, TotalQueuedCounts) {
+  auto s = make();
+  TaskDesc a, b;
+  s.place(&a, 1);
+  s.place(&b, 2);
+  EXPECT_EQ(s.total_queued(), 2u);
+  s.acquire(1);
+  EXPECT_EQ(s.total_queued(), 1u);
+}
+
+TEST_F(SchedulerTest, BadArgsThrow) {
+  auto s = make();
+  TaskDesc t;
+  EXPECT_THROW(s.place(nullptr, 0), util::Error);
+  EXPECT_THROW(s.place(&t, 99), util::Error);
+  EXPECT_THROW(s.acquire(99), util::Error);
+}
+
+// Property: with honor_affinity and random object homes, every task placed by
+// OBJECT affinity is dequeued by its home processor when that processor
+// drains it (no stealing).
+class PlacementProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlacementProperty, ObjectPlacementMatchesHome) {
+  const int n = GetParam();
+  topo::MachineConfig machine = topo::MachineConfig::dash();
+  std::map<std::uint64_t, topo::ProcId> homes;
+  Policy pol;
+  pol.steal_enabled = false;
+  Scheduler s(machine, pol, [&](std::uint64_t a, topo::ProcId) {
+    return homes.count(a & ~4095ull) ? homes[a & ~4095ull] : 0;
+  });
+  std::vector<TaskDesc> tasks(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t page = 0x100000ull + static_cast<std::uint64_t>(i) * 4096;
+    homes[page] = static_cast<topo::ProcId>((i * 7) % 32);
+    tasks[static_cast<std::size_t>(i)].aff =
+        Affinity::object(reinterpret_cast<void*>(page + 8));
+    const auto server = s.place(&tasks[static_cast<std::size_t>(i)], 0);
+    EXPECT_EQ(server, homes[page]);
+  }
+  // Drain: each task comes off its own home's queue.
+  std::size_t drained = 0;
+  for (topo::ProcId p = 0; p < machine.n_procs; ++p) {
+    while (auto* t = s.acquire(p).task) {
+      EXPECT_EQ(t->server, p);
+      ++drained;
+    }
+  }
+  EXPECT_EQ(drained, static_cast<std::size_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PlacementProperty,
+                         ::testing::Values(1, 10, 100, 1000));
+
+}  // namespace
+}  // namespace cool::sched

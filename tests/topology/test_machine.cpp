@@ -1,0 +1,107 @@
+#include "topology/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace cool::topo {
+namespace {
+
+TEST(Machine, DashDefaultsMatchPaper) {
+  const MachineConfig m = MachineConfig::dash();
+  EXPECT_EQ(m.n_procs, 32u);
+  EXPECT_EQ(m.procs_per_cluster, 4u);
+  EXPECT_EQ(m.n_clusters(), 8u);
+  EXPECT_EQ(m.l1_bytes, 64u * 1024);
+  EXPECT_EQ(m.l2_bytes, 256u * 1024);
+  EXPECT_EQ(m.lat.l1_hit, 1u);
+  EXPECT_EQ(m.lat.l2_hit, 14u);
+  EXPECT_EQ(m.lat.local_mem, 30u);
+  EXPECT_GE(m.lat.remote_mem, 100u);
+  EXPECT_LE(m.lat.remote_mem, 150u);
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(Machine, ClusterMapping) {
+  const MachineConfig m = MachineConfig::dash();
+  EXPECT_EQ(m.cluster_of(0), 0u);
+  EXPECT_EQ(m.cluster_of(3), 0u);
+  EXPECT_EQ(m.cluster_of(4), 1u);
+  EXPECT_EQ(m.cluster_of(31), 7u);
+  EXPECT_TRUE(m.same_cluster(0, 3));
+  EXPECT_FALSE(m.same_cluster(3, 4));
+}
+
+TEST(Machine, PartialLastCluster) {
+  MachineConfig m = MachineConfig::dash(6);
+  EXPECT_EQ(m.n_clusters(), 2u);
+  EXPECT_EQ(m.cluster_of(5), 1u);
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(Machine, LineAndPageMapping) {
+  const MachineConfig m = MachineConfig::dash();
+  EXPECT_EQ(m.line_of(0), 0u);
+  EXPECT_EQ(m.line_of(15), 0u);
+  EXPECT_EQ(m.line_of(16), 1u);
+  EXPECT_EQ(m.page_of(4095), 0u);
+  EXPECT_EQ(m.page_of(4096), 1u);
+}
+
+TEST(Machine, ValidateRejectsBadConfigs) {
+  MachineConfig m = MachineConfig::dash();
+  m.n_procs = 0;
+  EXPECT_THROW(m.validate(), util::Error);
+
+  m = MachineConfig::dash();
+  m.n_procs = 65;  // sharer mask limit
+  EXPECT_THROW(m.validate(), util::Error);
+
+  m = MachineConfig::dash();
+  m.line_bytes = 24;  // not a power of two
+  EXPECT_THROW(m.validate(), util::Error);
+
+  m = MachineConfig::dash();
+  m.page_bytes = 8;  // smaller than a line
+  EXPECT_THROW(m.validate(), util::Error);
+
+  m = MachineConfig::dash();
+  m.l1_assoc = 0;
+  EXPECT_THROW(m.validate(), util::Error);
+
+  m = MachineConfig::dash();
+  m.l2_bytes = 32 * 1024;  // smaller than L1: inclusion impossible
+  EXPECT_THROW(m.validate(), util::Error);
+}
+
+TEST(Machine, DashSmallValid) {
+  const MachineConfig m = MachineConfig::dash_small();
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_EQ(m.n_procs, 16u);
+  EXPECT_LT(m.l1_bytes, MachineConfig::dash().l1_bytes);
+}
+
+class ClusterProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ClusterProperty, EveryProcInExactlyOneCluster) {
+  MachineConfig m = MachineConfig::dash(GetParam());
+  m.validate();
+  std::vector<int> seen(m.n_clusters(), 0);
+  for (ProcId p = 0; p < m.n_procs; ++p) {
+    const ClusterId c = m.cluster_of(p);
+    ASSERT_LT(c, m.n_clusters());
+    ++seen[c];
+  }
+  // Every cluster non-empty and at most procs_per_cluster members.
+  for (int cnt : seen) {
+    EXPECT_GE(cnt, 1);
+    EXPECT_LE(cnt, static_cast<int>(m.procs_per_cluster));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ClusterProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16, 24, 31, 32,
+                                           64));
+
+}  // namespace
+}  // namespace cool::topo
