@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_latency_ratio.dir/abl_latency_ratio.cpp.o"
+  "CMakeFiles/abl_latency_ratio.dir/abl_latency_ratio.cpp.o.d"
+  "abl_latency_ratio"
+  "abl_latency_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_latency_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_latency_ratio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_multi_object.cpp" "bench/CMakeFiles/abl_multi_object.dir/abl_multi_object.cpp.o" "gcc" "bench/CMakeFiles/abl_multi_object.dir/abl_multi_object.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/cool_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cool_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cool_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/cool_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cool_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cool_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

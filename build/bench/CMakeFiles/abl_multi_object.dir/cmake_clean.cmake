@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_multi_object.dir/abl_multi_object.cpp.o"
+  "CMakeFiles/abl_multi_object.dir/abl_multi_object.cpp.o.d"
+  "abl_multi_object"
+  "abl_multi_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multi_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

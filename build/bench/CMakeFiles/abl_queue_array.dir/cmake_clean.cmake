@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_queue_array.dir/abl_queue_array.cpp.o"
+  "CMakeFiles/abl_queue_array.dir/abl_queue_array.cpp.o.d"
+  "abl_queue_array"
+  "abl_queue_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_queue_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_steal_policy.dir/abl_steal_policy.cpp.o"
+  "CMakeFiles/abl_steal_policy.dir/abl_steal_policy.cpp.o.d"
+  "abl_steal_policy"
+  "abl_steal_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_steal_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

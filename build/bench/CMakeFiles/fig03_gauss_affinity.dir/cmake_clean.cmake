@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_gauss_affinity.dir/fig03_gauss_affinity.cpp.o"
+  "CMakeFiles/fig03_gauss_affinity.dir/fig03_gauss_affinity.cpp.o.d"
+  "fig03_gauss_affinity"
+  "fig03_gauss_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_gauss_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_ocean_speedup.dir/fig06_ocean_speedup.cpp.o"
+  "CMakeFiles/fig06_ocean_speedup.dir/fig06_ocean_speedup.cpp.o.d"
+  "fig06_ocean_speedup"
+  "fig06_ocean_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_ocean_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

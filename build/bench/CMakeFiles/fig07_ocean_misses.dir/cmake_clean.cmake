@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_ocean_misses.dir/fig07_ocean_misses.cpp.o"
+  "CMakeFiles/fig07_ocean_misses.dir/fig07_ocean_misses.cpp.o.d"
+  "fig07_ocean_misses"
+  "fig07_ocean_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_ocean_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_locusroute_speedup.dir/fig10_locusroute_speedup.cpp.o"
+  "CMakeFiles/fig10_locusroute_speedup.dir/fig10_locusroute_speedup.cpp.o.d"
+  "fig10_locusroute_speedup"
+  "fig10_locusroute_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_locusroute_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

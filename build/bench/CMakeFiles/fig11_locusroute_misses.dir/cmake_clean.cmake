@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_locusroute_misses.dir/fig11_locusroute_misses.cpp.o"
+  "CMakeFiles/fig11_locusroute_misses.dir/fig11_locusroute_misses.cpp.o.d"
+  "fig11_locusroute_misses"
+  "fig11_locusroute_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_locusroute_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_panel_speedup.dir/fig14_panel_speedup.cpp.o"
+  "CMakeFiles/fig14_panel_speedup.dir/fig14_panel_speedup.cpp.o.d"
+  "fig14_panel_speedup"
+  "fig14_panel_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_panel_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_panel_misses.dir/fig15_panel_misses.cpp.o"
+  "CMakeFiles/fig15_panel_misses.dir/fig15_panel_misses.cpp.o.d"
+  "fig15_panel_misses"
+  "fig15_panel_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_panel_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_barneshut.dir/fig16_barneshut.cpp.o"
+  "CMakeFiles/fig16_barneshut.dir/fig16_barneshut.cpp.o.d"
+  "fig16_barneshut"
+  "fig16_barneshut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_barneshut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

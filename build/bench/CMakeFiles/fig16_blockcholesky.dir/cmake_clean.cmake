@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_blockcholesky.dir/fig16_blockcholesky.cpp.o"
+  "CMakeFiles/fig16_blockcholesky.dir/fig16_blockcholesky.cpp.o.d"
+  "fig16_blockcholesky"
+  "fig16_blockcholesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_blockcholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_affinity_hints.dir/tab01_affinity_hints.cpp.o"
+  "CMakeFiles/tab01_affinity_hints.dir/tab01_affinity_hints.cpp.o.d"
+  "tab01_affinity_hints"
+  "tab01_affinity_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_affinity_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

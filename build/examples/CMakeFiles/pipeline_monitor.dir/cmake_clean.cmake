@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_monitor.dir/pipeline_monitor.cpp.o"
+  "CMakeFiles/pipeline_monitor.dir/pipeline_monitor.cpp.o.d"
+  "pipeline_monitor"
+  "pipeline_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_solver.dir/sparse_solver.cpp.o"
+  "CMakeFiles/sparse_solver.dir/sparse_solver.cpp.o.d"
+  "sparse_solver"
+  "sparse_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_router.dir/wire_router.cpp.o"
+  "CMakeFiles/wire_router.dir/wire_router.cpp.o.d"
+  "wire_router"
+  "wire_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

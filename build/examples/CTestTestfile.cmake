@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--procs=8" "--chunks=16" "--chunk-kb=8")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_heat "/root/repo/build/examples/heat_diffusion" "--procs=8" "--n=64" "--steps=2" "--trace")
+set_tests_properties(example_heat PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_heat_nodistr "/root/repo/build/examples/heat_diffusion" "--procs=8" "--n=64" "--steps=2" "--no-distribute")
+set_tests_properties(example_heat_nodistr PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_wire_router "/root/repo/build/examples/wire_router" "--procs=8" "--wires-per-region=16" "--iterations=2")
+set_tests_properties(example_wire_router PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sparse_solver "/root/repo/build/examples/sparse_solver" "--procs=8" "--panels=32")
+set_tests_properties(example_sparse_solver PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pipeline "/root/repo/build/examples/pipeline_monitor" "--items=100")
+set_tests_properties(example_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pipeline_threads "/root/repo/build/examples/pipeline_monitor" "--items=100" "--threads")
+set_tests_properties(example_pipeline_threads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_nbody "/root/repo/build/examples/nbody" "--procs=8" "--bodies=512" "--steps=1")
+set_tests_properties(example_nbody PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

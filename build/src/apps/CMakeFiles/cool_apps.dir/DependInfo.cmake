@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/barneshut/barneshut.cpp" "src/apps/CMakeFiles/cool_apps.dir/barneshut/barneshut.cpp.o" "gcc" "src/apps/CMakeFiles/cool_apps.dir/barneshut/barneshut.cpp.o.d"
+  "/root/repo/src/apps/cholesky/block.cpp" "src/apps/CMakeFiles/cool_apps.dir/cholesky/block.cpp.o" "gcc" "src/apps/CMakeFiles/cool_apps.dir/cholesky/block.cpp.o.d"
+  "/root/repo/src/apps/cholesky/panel.cpp" "src/apps/CMakeFiles/cool_apps.dir/cholesky/panel.cpp.o" "gcc" "src/apps/CMakeFiles/cool_apps.dir/cholesky/panel.cpp.o.d"
+  "/root/repo/src/apps/common/harness.cpp" "src/apps/CMakeFiles/cool_apps.dir/common/harness.cpp.o" "gcc" "src/apps/CMakeFiles/cool_apps.dir/common/harness.cpp.o.d"
+  "/root/repo/src/apps/gauss/gauss.cpp" "src/apps/CMakeFiles/cool_apps.dir/gauss/gauss.cpp.o" "gcc" "src/apps/CMakeFiles/cool_apps.dir/gauss/gauss.cpp.o.d"
+  "/root/repo/src/apps/locusroute/locusroute.cpp" "src/apps/CMakeFiles/cool_apps.dir/locusroute/locusroute.cpp.o" "gcc" "src/apps/CMakeFiles/cool_apps.dir/locusroute/locusroute.cpp.o.d"
+  "/root/repo/src/apps/ocean/ocean.cpp" "src/apps/CMakeFiles/cool_apps.dir/ocean/ocean.cpp.o" "gcc" "src/apps/CMakeFiles/cool_apps.dir/ocean/ocean.cpp.o.d"
+  "/root/repo/src/apps/synth/multiobj.cpp" "src/apps/CMakeFiles/cool_apps.dir/synth/multiobj.cpp.o" "gcc" "src/apps/CMakeFiles/cool_apps.dir/synth/multiobj.cpp.o.d"
+  "/root/repo/src/apps/synth/taskmix.cpp" "src/apps/CMakeFiles/cool_apps.dir/synth/taskmix.cpp.o" "gcc" "src/apps/CMakeFiles/cool_apps.dir/synth/taskmix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cool_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/cool_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cool_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cool_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cool_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

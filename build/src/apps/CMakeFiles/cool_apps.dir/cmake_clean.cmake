@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cool_apps.dir/barneshut/barneshut.cpp.o"
+  "CMakeFiles/cool_apps.dir/barneshut/barneshut.cpp.o.d"
+  "CMakeFiles/cool_apps.dir/cholesky/block.cpp.o"
+  "CMakeFiles/cool_apps.dir/cholesky/block.cpp.o.d"
+  "CMakeFiles/cool_apps.dir/cholesky/panel.cpp.o"
+  "CMakeFiles/cool_apps.dir/cholesky/panel.cpp.o.d"
+  "CMakeFiles/cool_apps.dir/common/harness.cpp.o"
+  "CMakeFiles/cool_apps.dir/common/harness.cpp.o.d"
+  "CMakeFiles/cool_apps.dir/gauss/gauss.cpp.o"
+  "CMakeFiles/cool_apps.dir/gauss/gauss.cpp.o.d"
+  "CMakeFiles/cool_apps.dir/locusroute/locusroute.cpp.o"
+  "CMakeFiles/cool_apps.dir/locusroute/locusroute.cpp.o.d"
+  "CMakeFiles/cool_apps.dir/ocean/ocean.cpp.o"
+  "CMakeFiles/cool_apps.dir/ocean/ocean.cpp.o.d"
+  "CMakeFiles/cool_apps.dir/synth/multiobj.cpp.o"
+  "CMakeFiles/cool_apps.dir/synth/multiobj.cpp.o.d"
+  "CMakeFiles/cool_apps.dir/synth/taskmix.cpp.o"
+  "CMakeFiles/cool_apps.dir/synth/taskmix.cpp.o.d"
+  "libcool_apps.a"
+  "libcool_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cool_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cool_common.dir/options.cpp.o"
+  "CMakeFiles/cool_common.dir/options.cpp.o.d"
+  "CMakeFiles/cool_common.dir/table.cpp.o"
+  "CMakeFiles/cool_common.dir/table.cpp.o.d"
+  "libcool_common.a"
+  "libcool_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cool_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/cool_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/sim_engine.cpp" "src/core/CMakeFiles/cool_core.dir/sim_engine.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/sim_engine.cpp.o.d"
+  "/root/repo/src/core/sync.cpp" "src/core/CMakeFiles/cool_core.dir/sync.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/sync.cpp.o.d"
+  "/root/repo/src/core/thread_engine.cpp" "src/core/CMakeFiles/cool_core.dir/thread_engine.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/thread_engine.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/cool_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/cool_core.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memsim/CMakeFiles/cool_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cool_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cool_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cool_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cool_core.dir/runtime.cpp.o"
+  "CMakeFiles/cool_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/cool_core.dir/sim_engine.cpp.o"
+  "CMakeFiles/cool_core.dir/sim_engine.cpp.o.d"
+  "CMakeFiles/cool_core.dir/sync.cpp.o"
+  "CMakeFiles/cool_core.dir/sync.cpp.o.d"
+  "CMakeFiles/cool_core.dir/thread_engine.cpp.o"
+  "CMakeFiles/cool_core.dir/thread_engine.cpp.o.d"
+  "CMakeFiles/cool_core.dir/trace.cpp.o"
+  "CMakeFiles/cool_core.dir/trace.cpp.o.d"
+  "libcool_core.a"
+  "libcool_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cool_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/cache.cpp" "src/memsim/CMakeFiles/cool_memsim.dir/cache.cpp.o" "gcc" "src/memsim/CMakeFiles/cool_memsim.dir/cache.cpp.o.d"
+  "/root/repo/src/memsim/memsystem.cpp" "src/memsim/CMakeFiles/cool_memsim.dir/memsystem.cpp.o" "gcc" "src/memsim/CMakeFiles/cool_memsim.dir/memsystem.cpp.o.d"
+  "/root/repo/src/memsim/pagemap.cpp" "src/memsim/CMakeFiles/cool_memsim.dir/pagemap.cpp.o" "gcc" "src/memsim/CMakeFiles/cool_memsim.dir/pagemap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/cool_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cool_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

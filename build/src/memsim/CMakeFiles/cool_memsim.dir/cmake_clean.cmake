@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cool_memsim.dir/cache.cpp.o"
+  "CMakeFiles/cool_memsim.dir/cache.cpp.o.d"
+  "CMakeFiles/cool_memsim.dir/memsystem.cpp.o"
+  "CMakeFiles/cool_memsim.dir/memsystem.cpp.o.d"
+  "CMakeFiles/cool_memsim.dir/pagemap.cpp.o"
+  "CMakeFiles/cool_memsim.dir/pagemap.cpp.o.d"
+  "libcool_memsim.a"
+  "libcool_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cool_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cool_sched.dir/queues.cpp.o"
+  "CMakeFiles/cool_sched.dir/queues.cpp.o.d"
+  "CMakeFiles/cool_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/cool_sched.dir/scheduler.cpp.o.d"
+  "libcool_sched.a"
+  "libcool_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cool_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cool_topology.dir/machine.cpp.o"
+  "CMakeFiles/cool_topology.dir/machine.cpp.o.d"
+  "libcool_topology.a"
+  "libcool_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cool_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/test_barneshut.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_barneshut.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_barneshut.cpp.o.d"
+  "/root/repo/tests/apps/test_cholesky.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_cholesky.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_cholesky.cpp.o.d"
+  "/root/repo/tests/apps/test_gauss.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_gauss.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_gauss.cpp.o.d"
+  "/root/repo/tests/apps/test_locusroute.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_locusroute.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_locusroute.cpp.o.d"
+  "/root/repo/tests/apps/test_ocean.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_ocean.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_ocean.cpp.o.d"
+  "/root/repo/tests/apps/test_synth.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_synth.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cool_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/cool_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cool_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cool_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cool_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cool_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

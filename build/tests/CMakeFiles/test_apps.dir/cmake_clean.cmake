@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps.dir/apps/test_barneshut.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_barneshut.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_cholesky.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_cholesky.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_gauss.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_gauss.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_locusroute.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_locusroute.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_ocean.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_ocean.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_synth.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_synth.cpp.o.d"
+  "test_apps"
+  "test_apps.pdb"
+  "test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

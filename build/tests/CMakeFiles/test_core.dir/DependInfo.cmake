@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_affinity.cpp" "tests/CMakeFiles/test_core.dir/core/test_affinity.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_affinity.cpp.o.d"
+  "/root/repo/tests/core/test_patterns.cpp" "tests/CMakeFiles/test_core.dir/core/test_patterns.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_patterns.cpp.o.d"
+  "/root/repo/tests/core/test_runtime.cpp" "tests/CMakeFiles/test_core.dir/core/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_runtime.cpp.o.d"
+  "/root/repo/tests/core/test_sim_engine.cpp" "tests/CMakeFiles/test_core.dir/core/test_sim_engine.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_sim_engine.cpp.o.d"
+  "/root/repo/tests/core/test_stress.cpp" "tests/CMakeFiles/test_core.dir/core/test_stress.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_stress.cpp.o.d"
+  "/root/repo/tests/core/test_sync.cpp" "tests/CMakeFiles/test_core.dir/core/test_sync.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_sync.cpp.o.d"
+  "/root/repo/tests/core/test_taskfn.cpp" "tests/CMakeFiles/test_core.dir/core/test_taskfn.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_taskfn.cpp.o.d"
+  "/root/repo/tests/core/test_thread_engine.cpp" "tests/CMakeFiles/test_core.dir/core/test_thread_engine.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_thread_engine.cpp.o.d"
+  "/root/repo/tests/core/test_trace.cpp" "tests/CMakeFiles/test_core.dir/core/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cool_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/cool_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cool_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cool_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cool_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

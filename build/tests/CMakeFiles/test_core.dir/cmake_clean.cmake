@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_affinity.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_affinity.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_patterns.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_patterns.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_runtime.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_runtime.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_sim_engine.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_sim_engine.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_stress.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_stress.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_sync.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_sync.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_taskfn.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_taskfn.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_thread_engine.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_thread_engine.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_trace.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_trace.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/memsim/test_cache.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/test_cache.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/test_cache.cpp.o.d"
+  "/root/repo/tests/memsim/test_coherence_property.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/test_coherence_property.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/test_coherence_property.cpp.o.d"
+  "/root/repo/tests/memsim/test_directory.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/test_directory.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/test_directory.cpp.o.d"
+  "/root/repo/tests/memsim/test_memsystem.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/test_memsystem.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/test_memsystem.cpp.o.d"
+  "/root/repo/tests/memsim/test_pagemap.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/test_pagemap.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/test_pagemap.cpp.o.d"
+  "/root/repo/tests/memsim/test_prefetch.cpp" "tests/CMakeFiles/test_memsim.dir/memsim/test_prefetch.cpp.o" "gcc" "tests/CMakeFiles/test_memsim.dir/memsim/test_prefetch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cool_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/cool_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cool_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cool_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cool_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memsim.dir/memsim/test_cache.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/test_cache.cpp.o.d"
+  "CMakeFiles/test_memsim.dir/memsim/test_coherence_property.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/test_coherence_property.cpp.o.d"
+  "CMakeFiles/test_memsim.dir/memsim/test_directory.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/test_directory.cpp.o.d"
+  "CMakeFiles/test_memsim.dir/memsim/test_memsystem.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/test_memsystem.cpp.o.d"
+  "CMakeFiles/test_memsim.dir/memsim/test_pagemap.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/test_pagemap.cpp.o.d"
+  "CMakeFiles/test_memsim.dir/memsim/test_prefetch.cpp.o"
+  "CMakeFiles/test_memsim.dir/memsim/test_prefetch.cpp.o.d"
+  "test_memsim"
+  "test_memsim.pdb"
+  "test_memsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
