@@ -88,7 +88,7 @@ const mem::PerfMonitor* Runtime::monitor() const {
   return sim_ ? &sim_->memsys().monitor() : nullptr;
 }
 
-const sched::SchedStats& Runtime::sched_stats() const {
+sched::SchedStats Runtime::sched_stats() const {
   return sim_ ? sim_->scheduler().stats() : thr_->scheduler().stats();
 }
 

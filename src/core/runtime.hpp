@@ -81,7 +81,8 @@ class Runtime {
   [[nodiscard]] std::uint64_t sim_time() const;
   /// DASH performance-monitor counters (null under kThreads).
   [[nodiscard]] const mem::PerfMonitor* monitor() const;
-  [[nodiscard]] const sched::SchedStats& sched_stats() const;
+  /// Snapshot of the scheduler counters (aggregated across server shards).
+  [[nodiscard]] sched::SchedStats sched_stats() const;
   [[nodiscard]] std::vector<ProcUtil> utilization() const;
   [[nodiscard]] std::uint64_t tasks_completed() const;
   /// Execution trace (empty unless SystemConfig::trace and Mode::kSim).

@@ -12,7 +12,9 @@ ThreadEngine::ThreadEngine(const topo::MachineConfig& machine,
       pages_(machine_),
       sched_(machine_, policy,
              [this](std::uint64_t addr, topo::ProcId toucher) {
-               // Callers already hold big_ (placement happens inside it).
+               // Placement runs outside any scheduler lock, so the resolver
+               // guards the page map itself (home_of first-touch mutates it).
+               std::lock_guard g(big_);
                return pages_.home_of(addr, toucher);
              }),
       disp_(machine_.n_procs, Disposition::kNone) {
@@ -50,20 +52,16 @@ void ThreadEngine::spawn_record(TaskRecord* rec, Ctx* spawner) {
   {
     std::lock_guard g(big_);
     live_recs_.insert(rec);
-    sched_.place(&rec->desc, from);
-    ++work_epoch_;
   }
-  work_cv_.notify_all();
+  // place() enqueues and wakes an idle worker; the task may start (and even
+  // finish) on another thread before place returns, so `rec` is off-limits
+  // from here on.
+  sched_.place(&rec->desc, from);
 }
 
 void ThreadEngine::unblock(TaskRecord* rec, Ctx*) {
   rec->state = TaskState::kReady;
-  {
-    std::lock_guard g(big_);
-    sched_.enqueue_resumed(&rec->desc);
-    ++work_epoch_;
-  }
-  work_cv_.notify_all();
+  sched_.enqueue_resumed(&rec->desc);
 }
 
 void ThreadEngine::on_complete(Ctx& c) { disp_[c.proc_] = Disposition::kCompleted; }
@@ -96,8 +94,12 @@ void ThreadEngine::execute(topo::ProcId id, TaskRecord* rec) {
       delete rec;
       tasks_completed_.fetch_add(1);
       if (live_.fetch_sub(1) == 1) {
+        // Last task done: release run() and every sleeping worker. Taking
+        // done_m_ (empty section) pins the waiter at a point where its
+        // predicate re-read of live_ sees zero.
+        { std::lock_guard g(done_m_); }
         done_cv_.notify_all();
-        work_cv_.notify_all();
+        sched_.notify_all_waiters();
       }
       break;
     }
@@ -106,12 +108,7 @@ void ThreadEngine::execute(topo::ProcId id, TaskRecord* rec) {
       break;
     case Disposition::kYielded:
       rec->state = TaskState::kReady;
-      {
-        std::lock_guard g(big_);
-        sched_.enqueue_yielded(&rec->desc);
-        ++work_epoch_;
-      }
-      work_cv_.notify_all();
+      sched_.enqueue_yielded(&rec->desc);
       break;
     case Disposition::kNone:
       COOL_CHECK(false, "task suspended without reporting a disposition");
@@ -120,34 +117,32 @@ void ThreadEngine::execute(topo::ProcId id, TaskRecord* rec) {
 
 void ThreadEngine::worker_loop(topo::ProcId id) {
   for (;;) {
-    TaskRecord* rec = nullptr;
-    {
-      std::unique_lock l(big_);
-      for (;;) {
-        if (stop_ || live_.load() == 0) return;
-        const std::uint64_t epoch = work_epoch_;
-        const auto acq = sched_.acquire(id);
-        if (acq.task != nullptr) {
-          rec = TaskRecord::of(acq.task);
-          break;
-        }
-        // Nothing this worker may run right now (queued tasks can be pinned
-        // to other servers): sleep until new work appears anywhere.
-        work_cv_.wait(l, [&] {
-          return stop_ || live_.load() == 0 || work_epoch_ != epoch;
-        });
-      }
+    if (stop_.load() || live_.load() == 0) return;
+    // Snapshot BEFORE the acquire attempt: any enqueue after this point
+    // changes the version and makes wait_for_work return immediately.
+    const std::uint64_t seen = sched_.work_version();
+    const auto acq = sched_.acquire(id);
+    if (acq.task != nullptr) {
+      execute(id, TaskRecord::of(acq.task));
+      continue;
     }
-    execute(id, rec);
+    if (acq.contended) {
+      // A victim's queue lock was busy mid-scan; it may hold stealable work
+      // this scan could not see. Spin once rather than sleeping on it.
+      std::this_thread::yield();
+      continue;
+    }
+    // Nothing this worker may run right now (queued tasks can be pinned to
+    // other servers): sleep until new work appears anywhere.
+    sched_.wait_for_work(id, seen, [this] {
+      return stop_.load() || live_.load() == 0;
+    });
   }
 }
 
 void ThreadEngine::run(TaskFn&& root, std::uint64_t timeout_ms) {
   COOL_CHECK(root.valid(), "run of empty TaskFn");
-  {
-    std::lock_guard g(big_);
-    stop_ = false;
-  }
+  stop_.store(false);
 
   auto* rec = new TaskRecord;
   rec->handle = root.release();
@@ -162,12 +157,12 @@ void ThreadEngine::run(TaskFn&& root, std::uint64_t timeout_ms) {
 
   bool finished = false;
   {
-    std::unique_lock l(big_);
+    std::unique_lock l(done_m_);
     finished = done_cv_.wait_for(l, std::chrono::milliseconds(timeout_ms),
                                  [&] { return live_.load() == 0; });
-    stop_ = true;
   }
-  work_cv_.notify_all();
+  stop_.store(true);
+  sched_.notify_all_waiters();
   for (auto& w : workers) w.join();
 
   std::exception_ptr e;

@@ -6,6 +6,13 @@
 // running on an actual NUMA machine. There is no timing model: read/write/
 // work are no-ops, now() is 0, and migrate()/home() only update the page map
 // so affinity placement still works.
+//
+// Locking: every scheduling operation (place/acquire/enqueue/steal) goes
+// straight to the internally-sharded Scheduler with NO engine lock — workers
+// contend only on individual per-server queue mutexes. `big_` survives only
+// as the guard for the page map and the live-record set; the idle/wakeup
+// path uses the scheduler's per-server gates (see sched/scheduler.hpp) and
+// run()'s completion wait uses its own `done_m_`/`done_cv_`.
 #pragma once
 
 #include <atomic>
@@ -74,17 +81,13 @@ class ThreadEngine final : public Engine {
   topo::MachineConfig machine_;
   mem::PageMap pages_;
 
-  std::mutex big_;  ///< Guards sched_, pages_, live_recs_ and stop_.
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
+  std::mutex big_;  ///< Guards pages_ and live_recs_ only — never scheduling.
   sched::Scheduler sched_;
   std::unordered_set<TaskRecord*> live_recs_;
-  bool stop_ = false;
-  /// Bumped (under big_) whenever work is enqueued anywhere. Workers that
-  /// fail to acquire wait for the epoch to change — a worker must not spin on
-  /// "some queue is non-empty" because the queued task may be pinned to a
-  /// different server.
-  std::uint64_t work_epoch_ = 0;
+  std::atomic<bool> stop_{false};
+
+  std::mutex done_m_;  ///< Pairs with done_cv_ for run()'s completion wait.
+  std::condition_variable done_cv_;
 
   std::atomic<std::uint64_t> live_{0};
   std::atomic<std::uint64_t> tasks_completed_{0};

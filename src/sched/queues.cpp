@@ -22,7 +22,7 @@ void ServerQueues::on_slot_pop(AffSlot& slot) {
   }
 }
 
-void ServerQueues::push(TaskDesc* t) {
+void ServerQueues::push_locked(TaskDesc* t) {
   COOL_DCHECK(t != nullptr, "null task");
   if (t->aff.has_task()) {
     AffSlot& slot = slots_[slot_of(t->aff_key)];
@@ -31,24 +31,36 @@ void ServerQueues::push(TaskDesc* t) {
   } else {
     object_q_.push_back(t);
   }
-  ++size_;
-  max_depth_ = std::max(max_depth_, size_);
+  const std::size_t n = size_.load(std::memory_order_relaxed) + 1;
+  size_.store(n, std::memory_order_relaxed);
+  if (n > max_depth_.load(std::memory_order_relaxed)) {
+    max_depth_.store(n, std::memory_order_relaxed);
+  }
+}
+
+void ServerQueues::push(TaskDesc* t) {
+  std::lock_guard g(mu_);
+  push_locked(t);
 }
 
 void ServerQueues::push_resumed(TaskDesc* t) {
   COOL_DCHECK(t != nullptr, "null task");
+  std::lock_guard g(mu_);
   object_q_.push_front(t);
-  ++size_;
-  max_depth_ = std::max(max_depth_, size_);
+  const std::size_t n = size_.load(std::memory_order_relaxed) + 1;
+  size_.store(n, std::memory_order_relaxed);
+  if (n > max_depth_.load(std::memory_order_relaxed)) {
+    max_depth_.store(n, std::memory_order_relaxed);
+  }
 }
 
-TaskDesc* ServerQueues::pop() {
+TaskDesc* ServerQueues::pop_locked() {
   // Keep draining the active affinity set: this is the back-to-back execution
   // that gives the paper's cache reuse.
   if (active_ != nullptr && !active_->tasks.empty()) {
     TaskDesc* t = active_->tasks.pop_front();
     on_slot_pop(*active_);
-    --size_;
+    size_.fetch_sub(1, std::memory_order_relaxed);
     return t;
   }
   active_ = nullptr;
@@ -56,17 +68,22 @@ TaskDesc* ServerQueues::pop() {
     active_ = slot;
     TaskDesc* t = slot->tasks.pop_front();
     on_slot_pop(*slot);
-    --size_;
+    size_.fetch_sub(1, std::memory_order_relaxed);
     return t;
   }
   if (TaskDesc* t = object_q_.pop_front()) {
-    --size_;
+    size_.fetch_sub(1, std::memory_order_relaxed);
     return t;
   }
   return nullptr;
 }
 
-std::vector<TaskDesc*> ServerQueues::steal_set(bool allow_pinned) {
+TaskDesc* ServerQueues::pop() {
+  std::lock_guard g(mu_);
+  return pop_locked();
+}
+
+std::vector<TaskDesc*> ServerQueues::steal_set_locked(bool allow_pinned) {
   // Steal the set least likely to be serviced soon: prefer anything over the
   // active set (which the owner is draining), and skip pinned sets unless
   // allowed.
@@ -95,13 +112,26 @@ std::vector<TaskDesc*> ServerQueues::steal_set(bool allow_pinned) {
   while (TaskDesc* t = victim->tasks.pop_front()) {
     t->stolen = true;
     set.push_back(t);
-    --size_;
+    size_.fetch_sub(1, std::memory_order_relaxed);
   }
   on_slot_pop(*victim);
   return set;
 }
 
-TaskDesc* ServerQueues::steal_object_task(bool allow_pinned) {
+std::vector<TaskDesc*> ServerQueues::steal_set(bool allow_pinned) {
+  std::lock_guard g(mu_);
+  return steal_set_locked(allow_pinned);
+}
+
+TrySteal ServerQueues::try_steal_set(std::vector<TaskDesc*>& out,
+                                     bool allow_pinned) {
+  std::unique_lock l(mu_, std::try_to_lock);
+  if (!l.owns_lock()) return TrySteal::kBusy;
+  out = steal_set_locked(allow_pinned);
+  return out.empty() ? TrySteal::kEmpty : TrySteal::kGot;
+}
+
+TaskDesc* ServerQueues::steal_object_task_locked(bool allow_pinned) {
   TaskDesc* t = nullptr;
   if (allow_pinned) {
     t = object_q_.pop_back();
@@ -114,17 +144,51 @@ TaskDesc* ServerQueues::steal_object_task(bool allow_pinned) {
   }
   if (t != nullptr) {
     t->stolen = true;
-    --size_;
+    size_.fetch_sub(1, std::memory_order_relaxed);
   }
   return t;
 }
 
+TaskDesc* ServerQueues::steal_object_task(bool allow_pinned) {
+  std::lock_guard g(mu_);
+  return steal_object_task_locked(allow_pinned);
+}
+
+TrySteal ServerQueues::try_steal_object_task(TaskDesc*& out,
+                                             bool allow_pinned) {
+  std::unique_lock l(mu_, std::try_to_lock);
+  if (!l.owns_lock()) return TrySteal::kBusy;
+  out = steal_object_task_locked(allow_pinned);
+  return out != nullptr ? TrySteal::kGot : TrySteal::kEmpty;
+}
+
 void ServerQueues::adopt(const std::vector<TaskDesc*>& set,
                          topo::ProcId new_server) {
+  std::lock_guard g(mu_);
   for (TaskDesc* t : set) {
     t->server = new_server;
-    push(t);
+    push_locked(t);
   }
+}
+
+TaskDesc* ServerQueues::adopt_and_pop(const std::vector<TaskDesc*>& set,
+                                      topo::ProcId new_server) {
+  std::lock_guard g(mu_);
+  for (TaskDesc* t : set) {
+    t->server = new_server;
+    push_locked(t);
+  }
+  return pop_locked();
+}
+
+std::size_t ServerQueues::n_nonempty_affinity_queues() const {
+  std::lock_guard g(mu_);
+  return nonempty_.size();
+}
+
+std::size_t ServerQueues::object_queue_size() const {
+  std::lock_guard g(mu_);
+  return object_q_.size();
 }
 
 }  // namespace cool::sched

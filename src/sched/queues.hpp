@@ -9,16 +9,33 @@
 //   queues in the array are linked into a doubly-linked list for O(1)
 //   enqueue/dequeue, and a suitably large array minimises collisions of
 //   distinct affinity sets on one queue.
+//
+// Concurrency: each ServerQueues carries its own mutex and every public
+// operation is internally synchronised, so per-server queues run concurrently
+// with no scheduler-wide lock. The owner's push/pop take the lock
+// unconditionally (it is almost always uncontended); thieves use the
+// `try_steal_*` variants, which `try_lock` and report kBusy instead of
+// convoying behind the owner. `empty()`/`size()` read an atomic counter
+// without the lock, so victim scans stay wait-free.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/intrusive_list.hpp"
 #include "sched/task.hpp"
 
 namespace cool::sched {
+
+/// Outcome of a non-blocking steal attempt.
+enum class TrySteal : std::uint8_t {
+  kGot,    ///< Stole something.
+  kEmpty,  ///< Lock taken, nothing stealable.
+  kBusy,   ///< Queue lock held by someone else; caller should move on.
+};
 
 class ServerQueues {
  public:
@@ -61,23 +78,41 @@ class ServerQueues {
   /// taken. Returns nullptr if nothing stealable.
   TaskDesc* steal_object_task(bool allow_pinned = true);
 
+  /// Non-blocking variants for thieves: `try_lock` the queue and steal, or
+  /// report kBusy without waiting so a steal scan never convoys behind the
+  /// owner. On kGot the stolen set/task is written to `out`.
+  TrySteal try_steal_set(std::vector<TaskDesc*>& out, bool allow_pinned = true);
+  TrySteal try_steal_object_task(TaskDesc*& out, bool allow_pinned = true);
+
   /// Adopt tasks stolen as a set: they keep their affinity key and are queued
   /// back-to-back on this server.
   void adopt(const std::vector<TaskDesc*>& set, topo::ProcId new_server);
 
-  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
-  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// Adopt a stolen set and immediately dequeue the first runnable task, all
+  /// under one lock hold, so a concurrent thief cannot empty the queue
+  /// between the adopt and the pop. Never returns nullptr for a non-empty
+  /// set. This is the only whole-set-steal path that touches two servers'
+  /// queues, and it takes the two locks strictly one at a time (victim lock
+  /// released inside try_steal_set before this acquires the thief's own
+  /// lock), so no lock order between servers is ever needed.
+  TaskDesc* adopt_and_pop(const std::vector<TaskDesc*>& set,
+                          topo::ProcId new_server);
+
+  [[nodiscard]] bool empty() const noexcept {
+    return size_.load(std::memory_order_relaxed) == 0;
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::size_t affinity_array_size() const noexcept {
     return slots_.size();
   }
-  [[nodiscard]] std::size_t n_nonempty_affinity_queues() const noexcept {
-    return nonempty_.size();
-  }
-  [[nodiscard]] std::size_t object_queue_size() const noexcept {
-    return object_q_.size();
-  }
+  [[nodiscard]] std::size_t n_nonempty_affinity_queues() const;
+  [[nodiscard]] std::size_t object_queue_size() const;
   /// High-water mark of queued tasks (diagnostics).
-  [[nodiscard]] std::size_t max_depth() const noexcept { return max_depth_; }
+  [[nodiscard]] std::size_t max_depth() const noexcept {
+    return max_depth_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct AffSlot {
@@ -87,13 +122,20 @@ class ServerQueues {
 
   void on_slot_push(AffSlot& slot);
   void on_slot_pop(AffSlot& slot);
+  void push_locked(TaskDesc* t);
+  TaskDesc* pop_locked();
+  std::vector<TaskDesc*> steal_set_locked(bool allow_pinned);
+  TaskDesc* steal_object_task_locked(bool allow_pinned);
 
+  mutable std::mutex mu_;  ///< Guards every queue structure below.
   TaskList object_q_;
   std::vector<AffSlot> slots_;
   util::IntrusiveList<AffSlot, &AffSlot::hook> nonempty_;
   AffSlot* active_ = nullptr;  ///< Affinity set currently being drained.
-  std::size_t size_ = 0;
-  std::size_t max_depth_ = 0;
+  /// Task count, maintained under mu_ but readable without it so victim
+  /// scans and emptiness checks never touch the lock.
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::size_t> max_depth_{0};
 };
 
 }  // namespace cool::sched

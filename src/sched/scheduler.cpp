@@ -6,31 +6,72 @@ namespace cool::sched {
 
 Scheduler::Scheduler(const topo::MachineConfig& machine, Policy policy,
                      HomeFn home)
-    : machine_(machine), policy_(policy), home_(std::move(home)) {
+    : machine_(machine),
+      policy_(policy),
+      home_(std::move(home)),
+      stats_(machine.n_procs) {
   COOL_CHECK(home_ != nullptr, "scheduler needs a home resolver");
   COOL_CHECK(policy_.affinity_array_size >= 1, "affinity array size must be >= 1");
   for (std::uint32_t p = 0; p < machine_.n_procs; ++p) {
     queues_.emplace_back(policy_.affinity_array_size);
+    gates_.emplace_back();
   }
+}
+
+void Scheduler::wake_gate(IdleGate& g) {
+  // Empty critical section: a waiter is either already inside cv.wait (the
+  // notify reaches it) or still before it while holding g.m (we block here
+  // until it waits, and its predicate then sees the new version).
+  { std::lock_guard l(g.m); }
+  g.cv.notify_all();
+}
+
+void Scheduler::signal_work(topo::ProcId server) {
+  // Seq-cst Dekker pairing with wait_for_work: the version bump and the
+  // sleeping-flag reads here, against the sleeping-flag store and version
+  // read in the waiter, cannot both miss each other.
+  work_version_.fetch_add(1);
+  IdleGate& home_gate = gates_[server];
+  if (home_gate.sleeping.load()) {
+    wake_gate(home_gate);
+    return;
+  }
+  // Home server is busy; wake one idle processor so it can steal. Scan from
+  // the home server's successor so bursts of spawns fan out over sleepers.
+  const std::uint32_t P = machine_.n_procs;
+  for (std::uint32_t i = 1; i < P; ++i) {
+    IdleGate& g = gates_[(server + i) % P];
+    if (g.sleeping.load()) {
+      wake_gate(g);
+      return;
+    }
+  }
+}
+
+void Scheduler::notify_all_waiters() {
+  work_version_.fetch_add(1);
+  for (IdleGate& g : gates_) wake_gate(g);
 }
 
 topo::ProcId Scheduler::place(TaskDesc* t, topo::ProcId spawner) {
   COOL_CHECK(t != nullptr, "place: null task");
   COOL_CHECK(spawner < machine_.n_procs, "place: spawner out of range");
-  ++stats_.spawned;
+  StatShard& st = stats_.shard(spawner);
+  st.spawned.fetch_add(1, std::memory_order_relaxed);
 
   topo::ProcId server = spawner;
   if (!policy_.honor_affinity) {
     // The paper's "Base" version: tasks scheduled round-robin across
     // processors without regard for locality.
-    server = static_cast<topo::ProcId>(rr_next_++ % machine_.n_procs);
+    server = static_cast<topo::ProcId>(
+        rr_next_.fetch_add(1, std::memory_order_relaxed) % machine_.n_procs);
     t->aff = Affinity::none();  // No set grouping either.
-    ++stats_.placed_round_robin;
+    st.placed_round_robin.fetch_add(1, std::memory_order_relaxed);
   } else if (t->aff.has_processor()) {
     // PROCESSOR affinity: value modulo the number of server processes.
     server = static_cast<topo::ProcId>(
         static_cast<std::uint64_t>(t->aff.proc_hint) % machine_.n_procs);
-    ++stats_.placed_processor;
+    st.placed_processor.fetch_add(1, std::memory_order_relaxed);
   } else if (t->aff.has_multi() && policy_.multi_object_placement &&
              t->aff.n_objs > 1) {
     // Multi-object heuristic (paper §8): place on the server homing the most
@@ -47,18 +88,18 @@ topo::ProcId Scheduler::place(TaskDesc* t, topo::ProcId spawner) {
       }
     }
     server = best;
-    ++stats_.placed_multi;
+    st.placed_multi.fetch_add(1, std::memory_order_relaxed);
   } else if (t->aff.has_object()) {
     // OBJECT / simple / default affinity: collocate with the object's home.
     server = home_(t->aff.object_obj, spawner);
-    ++stats_.placed_object;
+    st.placed_object.fetch_add(1, std::memory_order_relaxed);
   } else if (t->aff.has_task()) {
     // TASK affinity alone: place the whole set where the object lives so the
     // first fetch is local; the set remains stealable as a unit.
     server = home_(t->aff.task_obj, spawner);
-    ++stats_.placed_task;
+    st.placed_task.fetch_add(1, std::memory_order_relaxed);
   } else {
-    ++stats_.placed_local;
+    st.placed_local.fetch_add(1, std::memory_order_relaxed);
   }
 
   if (t->aff.has_task()) {
@@ -69,49 +110,78 @@ topo::ProcId Scheduler::place(TaskDesc* t, topo::ProcId spawner) {
   t->server = server;
   t->stolen = false;
   queues_[server].push(t);
+  // `t` is live on a queue now — another thread may already own it.
+  signal_work(server);
   return server;
 }
 
 void Scheduler::enqueue_resumed(TaskDesc* t) {
   COOL_CHECK(t != nullptr, "enqueue_resumed: null task");
   COOL_CHECK(t->server < machine_.n_procs, "enqueue_resumed: bad server");
-  ++stats_.resumes;
-  queues_[t->server].push_resumed(t);
+  const topo::ProcId server = t->server;
+  stats_.shard(server).resumes.fetch_add(1, std::memory_order_relaxed);
+  queues_[server].push_resumed(t);
+  signal_work(server);
 }
 
 void Scheduler::enqueue_yielded(TaskDesc* t) {
   COOL_CHECK(t != nullptr, "enqueue_yielded: null task");
   COOL_CHECK(t->server < machine_.n_procs, "enqueue_yielded: bad server");
-  queues_[t->server].push(t);
+  const topo::ProcId server = t->server;
+  queues_[server].push(t);
+  signal_work(server);
 }
 
-TaskDesc* Scheduler::try_steal(topo::ProcId thief, topo::ProcId victim) {
+TaskDesc* Scheduler::try_steal(topo::ProcId thief, topo::ProcId victim,
+                               bool& busy) {
   ServerQueues& q = queues_[victim];
   if (q.empty()) return nullptr;
+  StatShard& st = stats_.shard(thief);
   if (policy_.steal_whole_sets) {
-    std::vector<TaskDesc*> set = q.steal_set(policy_.steal_pinned_sets);
-    if (!set.empty()) {
-      ++stats_.set_steals;
-      stats_.tasks_stolen += set.size();
-      // The whole set migrates to the thief so its tasks still run
-      // back-to-back (paper §4.2).
-      queues_[thief].adopt(set, thief);
-      return queues_[thief].pop();
+    std::vector<TaskDesc*> set;
+    switch (q.try_steal_set(set, policy_.steal_pinned_sets)) {
+      case TrySteal::kBusy:
+        // Owner (or another thief) holds the victim's lock; don't convoy —
+        // remember the contention and move on to the next victim.
+        busy = true;
+        return nullptr;
+      case TrySteal::kGot: {
+        st.set_steals.fetch_add(1, std::memory_order_relaxed);
+        st.tasks_stolen.fetch_add(set.size(), std::memory_order_relaxed);
+        // The whole set migrates to the thief so its tasks still run
+        // back-to-back (paper §4.2). Adopt + first pop happen under one hold
+        // of the thief's own lock; the victim's lock was already released.
+        TaskDesc* t = queues_[thief].adopt_and_pop(set, thief);
+        // Waking sleepers for the rest of the set keeps stealing
+        // work-conserving while this thief runs the first task.
+        signal_work(thief);
+        return t;
+      }
+      case TrySteal::kEmpty:
+        break;
     }
   }
-  if (TaskDesc* t = q.steal_object_task(policy_.steal_object_tasks)) {
-    ++stats_.tasks_stolen;
-    t->server = thief;
-    return t;
+  TaskDesc* t = nullptr;
+  switch (q.try_steal_object_task(t, policy_.steal_object_tasks)) {
+    case TrySteal::kBusy:
+      busy = true;
+      return nullptr;
+    case TrySteal::kGot:
+      st.tasks_stolen.fetch_add(1, std::memory_order_relaxed);
+      t->server = thief;
+      return t;
+    case TrySteal::kEmpty:
+      break;
   }
   return nullptr;
 }
 
 Scheduler::Acquired Scheduler::acquire(topo::ProcId proc) {
   COOL_CHECK(proc < machine_.n_procs, "acquire: processor out of range");
+  StatShard& st = stats_.shard(proc);
   Acquired out;
   if (TaskDesc* t = queues_[proc].pop()) {
-    ++stats_.pops;
+    st.pops.fetch_add(1, std::memory_order_relaxed);
     out.task = t;
     return out;
   }
@@ -121,16 +191,19 @@ Scheduler::Acquired Scheduler::acquire(topo::ProcId proc) {
   // cluster_first, scan the thief's cluster before the rest; with
   // cluster_only, never leave the cluster.
   const std::uint32_t P = machine_.n_procs;
+  bool busy = false;
   auto scan = [&](bool same_cluster_pass) -> TaskDesc* {
     for (std::uint32_t i = 1; i < P; ++i) {
       const auto victim = static_cast<topo::ProcId>((proc + i) % P);
       const bool same = machine_.same_cluster(proc, victim);
       if (same_cluster_pass != same) continue;
-      if (TaskDesc* t = try_steal(proc, victim)) {
-        ++stats_.steals;
+      if (TaskDesc* t = try_steal(proc, victim, busy)) {
+        st.steals.fetch_add(1, std::memory_order_relaxed);
         out.stolen = true;
         out.stolen_remote_cluster = !same;
-        if (!same) ++stats_.remote_cluster_steals;
+        if (!same) {
+          st.remote_cluster_steals.fetch_add(1, std::memory_order_relaxed);
+        }
         return t;
       }
     }
@@ -143,7 +216,8 @@ Scheduler::Acquired Scheduler::acquire(topo::ProcId proc) {
       return out;
     }
     if (policy_.cluster_only) {
-      ++stats_.failed_steal_scans;
+      st.failed_steal_scans.fetch_add(1, std::memory_order_relaxed);
+      out.contended = busy;
       return out;
     }
     if (TaskDesc* t = scan(/*same_cluster_pass=*/false)) {
@@ -153,18 +227,21 @@ Scheduler::Acquired Scheduler::acquire(topo::ProcId proc) {
   } else {
     for (std::uint32_t i = 1; i < P; ++i) {
       const auto victim = static_cast<topo::ProcId>((proc + i) % P);
-      if (TaskDesc* t = try_steal(proc, victim)) {
-        ++stats_.steals;
+      if (TaskDesc* t = try_steal(proc, victim, busy)) {
+        st.steals.fetch_add(1, std::memory_order_relaxed);
         out.stolen = true;
         const bool same = machine_.same_cluster(proc, victim);
         out.stolen_remote_cluster = !same;
-        if (!same) ++stats_.remote_cluster_steals;
+        if (!same) {
+          st.remote_cluster_steals.fetch_add(1, std::memory_order_relaxed);
+        }
         out.task = t;
         return out;
       }
     }
   }
-  ++stats_.failed_steal_scans;
+  st.failed_steal_scans.fetch_add(1, std::memory_order_relaxed);
+  out.contended = busy;
   return out;
 }
 
@@ -179,6 +256,28 @@ std::size_t Scheduler::total_queued() const {
   std::size_t n = 0;
   for (const auto& q : queues_) n += q.size();
   return n;
+}
+
+SchedStats Scheduler::stats() const {
+  return stats_.aggregate(SchedStats{}, [](SchedStats& acc, const StatShard& s) {
+    acc.spawned += s.spawned.load(std::memory_order_relaxed);
+    acc.placed_processor += s.placed_processor.load(std::memory_order_relaxed);
+    acc.placed_object += s.placed_object.load(std::memory_order_relaxed);
+    acc.placed_task += s.placed_task.load(std::memory_order_relaxed);
+    acc.placed_local += s.placed_local.load(std::memory_order_relaxed);
+    acc.placed_multi += s.placed_multi.load(std::memory_order_relaxed);
+    acc.placed_round_robin +=
+        s.placed_round_robin.load(std::memory_order_relaxed);
+    acc.pops += s.pops.load(std::memory_order_relaxed);
+    acc.steals += s.steals.load(std::memory_order_relaxed);
+    acc.set_steals += s.set_steals.load(std::memory_order_relaxed);
+    acc.tasks_stolen += s.tasks_stolen.load(std::memory_order_relaxed);
+    acc.remote_cluster_steals +=
+        s.remote_cluster_steals.load(std::memory_order_relaxed);
+    acc.failed_steal_scans +=
+        s.failed_steal_scans.load(std::memory_order_relaxed);
+    acc.resumes += s.resumes.load(std::memory_order_relaxed);
+  });
 }
 
 }  // namespace cool::sched

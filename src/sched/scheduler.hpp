@@ -15,13 +15,27 @@
 // round of victims to the thief's own cluster — the Panel Cholesky
 // "Distr+Aff+ClusterStealing" experiment; `cluster_only` forbids stealing
 // outside the cluster entirely.
+//
+// Concurrency: the scheduler is internally synchronised — place/acquire/
+// enqueue_* may be called from any number of threads with no external lock.
+// Each ServerQueues carries its own mutex (thieves use try_lock and never
+// convoy behind owners), statistics are sharded per server and aggregated on
+// read, and an idle/wakeup protocol (per-server condition variables plus a
+// global atomic work counter) lets engine workers sleep when no runnable work
+// exists without missing wakeups. A single-threaded caller (the simulation
+// engine) sees exactly the old sequential behaviour: uncontended locks always
+// succeed, so every placement and steal decision is unchanged.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <mutex>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "sched/queues.hpp"
 #include "topology/machine.hpp"
 
@@ -48,6 +62,9 @@ struct Policy {
                                   ///< objects at dispatch (§8; sim engine).
 };
 
+/// Aggregated scheduler counters. This is a point-in-time snapshot: the
+/// scheduler accumulates into per-server shards and `Scheduler::stats()`
+/// sums them on read.
 struct SchedStats {
   std::uint64_t spawned = 0;
   std::uint64_t placed_processor = 0;  ///< Placed via PROCESSOR hint.
@@ -67,13 +84,17 @@ struct SchedStats {
 
 class Scheduler {
  public:
-  /// `home` resolves an object address to the processor homing it.
+  /// `home` resolves an object address to the processor homing it. It is
+  /// called without any scheduler lock held; a concurrent engine must make
+  /// it thread-safe itself.
   using HomeFn = std::function<topo::ProcId(std::uint64_t addr, topo::ProcId toucher)>;
 
   Scheduler(const topo::MachineConfig& machine, Policy policy, HomeFn home);
 
   /// Decide the server and affinity key for `t` (spawned by `spawner`) and
-  /// enqueue it. Returns the chosen server.
+  /// enqueue it. Returns the chosen server. Once enqueued the task may be
+  /// acquired (and even completed) by another thread immediately, so neither
+  /// place() nor its caller touches `t` after the enqueue.
   topo::ProcId place(TaskDesc* t, topo::ProcId spawner);
 
   /// Re-enqueue an unblocked task on its server, at the front.
@@ -87,10 +108,44 @@ class Scheduler {
     TaskDesc* task = nullptr;
     bool stolen = false;
     bool stolen_remote_cluster = false;
+    /// A steal scan skipped at least one victim whose lock was busy. The
+    /// caller should retry (spin) instead of sleeping: the busy victim may
+    /// hold stealable work that was invisible to this scan.
+    bool contended = false;
   };
 
   /// Get work for `proc`: local pop first, then steal per policy.
   Acquired acquire(topo::ProcId proc);
+
+  // --- Idle/wakeup protocol -------------------------------------------------
+  //
+  // A worker that fails to acquire must not spin on "some queue is non-empty"
+  // (queued tasks may be pinned to other servers) and must not sleep past a
+  // new enqueue. Protocol: snapshot work_version() BEFORE the failed acquire,
+  // then call wait_for_work() with that snapshot; every enqueue bumps the
+  // version and wakes sleepers, so a version mismatch means new work arrived
+  // somewhere after the snapshot and the wait returns immediately.
+
+  /// Global enqueue counter; bumped whenever a task lands on any queue.
+  [[nodiscard]] std::uint64_t work_version() const noexcept {
+    return work_version_.load();
+  }
+
+  /// Block `proc` until the work version moves past `seen` or `give_up()`
+  /// returns true. `give_up` is evaluated under the per-server gate mutex and
+  /// must be safe to call from any thread (read atomics only).
+  template <typename Pred>
+  void wait_for_work(topo::ProcId proc, std::uint64_t seen, Pred give_up) {
+    IdleGate& g = gates_[proc];
+    std::unique_lock l(g.m);
+    g.sleeping.store(true);
+    g.cv.wait(l, [&] { return work_version_.load() != seen || give_up(); });
+    g.sleeping.store(false);
+  }
+
+  /// Wake every sleeping worker (shutdown / completion). Bumps the version so
+  /// a worker between snapshot and wait does not go back to sleep.
+  void notify_all_waiters();
 
   [[nodiscard]] bool has_local_work(topo::ProcId proc) const {
     return !queues_[proc].empty();
@@ -98,8 +153,8 @@ class Scheduler {
   [[nodiscard]] bool any_work() const;
   [[nodiscard]] std::size_t total_queued() const;
 
-  [[nodiscard]] const SchedStats& stats() const noexcept { return stats_; }
-  SchedStats& stats() noexcept { return stats_; }
+  /// Aggregate the per-server stat shards into one snapshot.
+  [[nodiscard]] SchedStats stats() const;
 
   [[nodiscard]] const ServerQueues& queues(topo::ProcId p) const {
     return queues_.at(p);
@@ -110,14 +165,46 @@ class Scheduler {
   }
 
  private:
-  TaskDesc* try_steal(topo::ProcId thief, topo::ProcId victim);
+  /// One server's statistics shard; updated with relaxed atomics by whichever
+  /// thread performs the operation, summed by stats().
+  struct StatShard {
+    std::atomic<std::uint64_t> spawned{0};
+    std::atomic<std::uint64_t> placed_processor{0};
+    std::atomic<std::uint64_t> placed_object{0};
+    std::atomic<std::uint64_t> placed_task{0};
+    std::atomic<std::uint64_t> placed_local{0};
+    std::atomic<std::uint64_t> placed_multi{0};
+    std::atomic<std::uint64_t> placed_round_robin{0};
+    std::atomic<std::uint64_t> pops{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> set_steals{0};
+    std::atomic<std::uint64_t> tasks_stolen{0};
+    std::atomic<std::uint64_t> remote_cluster_steals{0};
+    std::atomic<std::uint64_t> failed_steal_scans{0};
+    std::atomic<std::uint64_t> resumes{0};
+  };
+
+  /// Per-server sleep gate for the idle/wakeup protocol.
+  struct alignas(64) IdleGate {
+    std::mutex m;
+    std::condition_variable cv;
+    std::atomic<bool> sleeping{false};
+  };
+
+  TaskDesc* try_steal(topo::ProcId thief, topo::ProcId victim, bool& busy);
+  /// Bump the work version and wake `server`'s worker if it sleeps, else the
+  /// next sleeping worker (any idle processor may steal the new task).
+  void signal_work(topo::ProcId server);
+  void wake_gate(IdleGate& g);
 
   const topo::MachineConfig& machine_;
   Policy policy_;
   HomeFn home_;
   std::deque<ServerQueues> queues_;  // deque: ServerQueues is not movable
-  SchedStats stats_;
-  std::uint64_t rr_next_ = 0;  ///< Base-mode round-robin cursor.
+  util::Sharded<StatShard> stats_;   // per-server shards, summed on read
+  std::deque<IdleGate> gates_;       // deque: IdleGate is not movable
+  std::atomic<std::uint64_t> work_version_{0};
+  std::atomic<std::uint64_t> rr_next_{0};  ///< Base-mode round-robin cursor.
 };
 
 }  // namespace cool::sched

@@ -4,6 +4,16 @@
 // the scheduler sees only this descriptor: affinity, placement, and an
 // intrusive hook so queue operations never allocate (paper §5: enqueue and
 // dequeue are O(1) on doubly-linked lists).
+//
+// Ownership across threads: a TaskDesc is only ever touched by the single
+// thread that currently owns it. Ownership transfers exclusively through a
+// ServerQueues enqueue/dequeue (or a wait-list push/pop in core/sync.hpp),
+// whose mutex publishes every prior write of the descriptor to the next
+// owner. Concretely: the placer writes `aff`/`aff_key`/`server`/`stolen`
+// before push and never afterwards; a thief writes `stolen` and `server`
+// under the victim's (resp. its own) queue lock; the worker that pops reads
+// them freely until it re-enqueues or completes the task. No field needs to
+// be atomic under this discipline.
 #pragma once
 
 #include <cstdint>
