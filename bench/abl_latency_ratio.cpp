@@ -29,8 +29,11 @@ int main(int argc, char** argv) {
   cfg.steps = static_cast<int>(opt.get_int("steps"));
   const auto procs = static_cast<std::uint32_t>(opt.get_int("procs"));
 
-  std::printf("# Ocean %dx%d at P=%u, local memory fixed at 30 cycles\n",
-              cfg.n, cfg.n, procs);
+  bench::Report rep(opt);
+  if (rep.text()) {
+    std::printf("# Ocean %dx%d at P=%u, local memory fixed at 30 cycles\n",
+                cfg.n, cfg.n, procs);
+  }
   util::Table t({"remote-lat", "ratio", "Base(Mcyc)", "Distr+Aff(Mcyc)",
                  "affinity-benefit%"});
   for (std::uint32_t remote : {30u, 60u, 120u, 240u, 480u}) {
@@ -54,6 +57,6 @@ int main(int argc, char** argv) {
         .cell(static_cast<double>(aff) / 1e6, 2)
         .cell(bench::improvement_pct(base, aff), 0);
   }
-  bench::print_table(t, opt);
-  return 0;
+  rep.table(t);
+  return rep.finish();
 }

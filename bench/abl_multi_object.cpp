@@ -33,10 +33,13 @@ int main(int argc, char** argv) {
   cfg.large_kb = static_cast<std::size_t>(opt.get_int("large-kb"));
   cfg.tasks_per_pair = static_cast<int>(opt.get_int("tasks-per-pair"));
 
-  std::printf(
-      "# %d pairs (%zu KiB + %zu KiB on different homes), %d tasks/pair, "
-      "P=%u\n",
-      cfg.pairs, cfg.small_kb, cfg.large_kb, cfg.tasks_per_pair, procs);
+  bench::Report rep(opt);
+  if (rep.text()) {
+    std::printf(
+        "# %d pairs (%zu KiB + %zu KiB on different homes), %d tasks/pair, "
+        "P=%u\n",
+        cfg.pairs, cfg.small_kb, cfg.large_kb, cfg.tasks_per_pair, procs);
+  }
 
   util::Table t({"strategy", "cycles(K)", "local-miss%", "stall(Kcyc)",
                  "prefetched-lines"});
@@ -53,6 +56,6 @@ int main(int argc, char** argv) {
         .cell(static_cast<double>(r.run.mem.latency_cycles) / 1e3, 1)
         .cell(r.run.mem.prefetches);
   }
-  bench::print_table(t, opt);
-  return 0;
+  rep.table(t);
+  return rep.finish();
 }

@@ -30,9 +30,12 @@ int main(int argc, char** argv) {
   cfg.tasks_per_obj = static_cast<int>(opt.get_int("tasks-per-obj"));
   cfg.hint = Hint::kTaskObject;
 
-  std::printf(
-      "# TaskMix: %d objects x %zu KiB, %d tasks/object, TASK+OBJECT, P=%u\n",
-      cfg.objects, cfg.obj_kb, cfg.tasks_per_obj, procs);
+  bench::Report rep(opt);
+  if (rep.text()) {
+    std::printf(
+        "# TaskMix: %d objects x %zu KiB, %d tasks/object, TASK+OBJECT, P=%u\n",
+        cfg.objects, cfg.obj_kb, cfg.tasks_per_obj, procs);
+  }
 
   util::Table t({"array-size", "cycles(K)", "L1-hit%", "misses(K)"});
   auto add_row = [&](const std::string& label, const Config& c,
@@ -53,6 +56,6 @@ int main(int argc, char** argv) {
   Config grouped = cfg;
   grouped.interleave = false;
   add_row("(spawn grouped)", grouped, 64);
-  bench::print_table(t, opt);
-  return 0;
+  rep.table(t);
+  return rep.finish();
 }

@@ -27,8 +27,11 @@ int main(int argc, char** argv) {
   const int total_wires = static_cast<int>(opt.get_int("total-wires"));
   const int total_width = static_cast<int>(opt.get_int("total-width"));
 
-  std::printf("# LocusRoute, %d wires over %d cells width, P=%u\n",
-              total_wires, total_width, procs);
+  bench::Report rep(opt);
+  if (rep.text()) {
+    std::printf("# LocusRoute, %d wires over %d cells width, P=%u\n",
+                total_wires, total_width, procs);
+  }
   util::Table t({"regions", "region-w", "cycles(M)", "adherence%", "L1-hit%",
                  "busy-imbalance%"});
   for (int mult : {-2, 1, 2, 4, 8}) {  // -2 encodes P/2
@@ -72,6 +75,6 @@ int main(int argc, char** argv) {
         .cell(l1, 1)
         .cell(imbalance, 1);
   }
-  bench::print_table(t, opt);
-  return 0;
+  rep.table(t);
+  return rep.finish();
 }

@@ -64,8 +64,11 @@ int main(int argc, char** argv) {
     rows.push_back(r);
   }
 
-  std::printf("# Panel Cholesky (%d panels), Distr+Aff hints, P=%u\n",
-              cfg.n_panels, procs);
+  bench::Report rep(opt);
+  if (rep.text()) {
+    std::printf("# Panel Cholesky (%d panels), Distr+Aff hints, P=%u\n",
+                cfg.n_panels, procs);
+  }
   util::Table t({"policy", "cycles(M)", "local-miss%", "steals",
                  "remote-cluster", "tasks-stolen"});
   for (const Row& row : rows) {
@@ -79,6 +82,6 @@ int main(int argc, char** argv) {
         .cell(r.run.sched.remote_cluster_steals)
         .cell(r.run.sched.tasks_stolen);
   }
-  bench::print_table(t, opt);
-  return 0;
+  rep.table(t);
+  return rep.finish();
 }

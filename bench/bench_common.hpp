@@ -2,10 +2,14 @@
 //
 // Every bench prints (a) the paper series it reproduces, as a fixed-width
 // table, and (b) a short "shape" summary (who wins, by how much) that
-// EXPERIMENTS.md compares against the paper's reported results.
+// EXPERIMENTS.md compares against the paper's reported results. With --json
+// the same series/shape data is emitted instead as a schema-versioned
+// cool-bench/1 record (obs/bench_json.hpp) that bench/runner collects and
+// diffs; route both paths through a bench::Report so they cannot drift.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -13,6 +17,7 @@
 #include "common/options.hpp"
 #include "common/table.hpp"
 #include "core/cool.hpp"
+#include "obs/bench_json.hpp"
 
 namespace cool::bench {
 
@@ -31,6 +36,10 @@ inline util::Options standard_options(const std::string& name,
   opt.add_int("max-procs", 32, "largest processor count in the sweep");
   opt.add_int("procs", 32, "processor count for fixed-P experiments");
   opt.add_flag("csv", "emit tables as CSV instead of aligned text");
+  opt.add_flag("json", "emit a cool-bench/1 JSON record instead of text");
+  opt.add_string("json-out", "",
+                 "write the JSON record to this file or directory "
+                 "(default: stdout; implies --json)");
   return opt;
 }
 
@@ -67,5 +76,78 @@ inline double improvement_pct(std::uint64_t worse_cycles,
                       static_cast<double>(better_cycles) -
                   1.0);
 }
+
+/// One output channel for a bench binary: text tables by default, the
+/// cool-bench/1 JSON record under --json. Usage pattern:
+///
+///   bench::Report rep(opt);
+///   if (rep.text()) std::printf("# header ...\n");
+///   ... build table t ...
+///   rep.table(t);                         // print or record
+///   if (rep.text()) std::printf("\nshape: ...\n", pct);
+///   rep.shape("improvement_pct", pct);    // recorded in json mode
+///   rep.obs_from(headline_result);        // optional metrics snapshot
+///   return rep.finish();                  // emits the record in json mode
+class Report {
+ public:
+  explicit Report(const util::Options& opt)
+      : rec_(opt.program()),
+        opt_(&opt),
+        json_(opt.flag("json") || !opt.get_string("json-out").empty()) {
+    if (json_) rec_.set_config(opt);
+  }
+
+  /// True when the bench should produce its human-readable output.
+  [[nodiscard]] bool text() const noexcept { return !json_; }
+
+  /// Print the table (text mode) or append it as series rows (json mode).
+  void table(const util::Table& t) {
+    if (json_) {
+      rec_.add_series(t);
+    } else {
+      print_table(t, *opt_);
+    }
+  }
+
+  /// Record one summary metric (the JSON twin of the "shape:" text line).
+  void shape(const std::string& key, double value) {
+    if (json_) rec_.add_shape(key, value);
+  }
+
+  /// Attach the metrics snapshot of the headline run.
+  void obs_from(const apps::RunResult& r) {
+    if (json_) rec_.set_obs(r.obs);
+  }
+  void set_obs(const cool::obs::Snapshot& snap) {
+    if (json_) rec_.set_obs(snap);
+  }
+
+  /// Escape hatch for benches with extra record content.
+  [[nodiscard]] cool::obs::BenchRecord& record() noexcept { return rec_; }
+
+  /// In json mode, emit the record: to --json-out (file or directory) when
+  /// set, else to stdout. Returns the process exit code.
+  int finish() {
+    if (!json_) return 0;
+    const std::string& out = opt_->get_string("json-out");
+    if (out.empty()) {
+      const std::string j = rec_.to_json();
+      std::fwrite(j.data(), 1, j.size(), stdout);
+      std::fputc('\n', stdout);
+      return 0;
+    }
+    if (!rec_.write_to(out)) {
+      std::fprintf(stderr, "%s: failed to write record to %s\n",
+                   rec_.name().c_str(), out.c_str());
+      return 1;
+    }
+    return 0;
+  }
+
+ private:
+  cool::obs::BenchRecord rec_;
+  const util::Options* opt_;
+  bool json_;
+};
 
 }  // namespace cool::bench

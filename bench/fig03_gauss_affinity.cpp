@@ -33,7 +33,10 @@ int main(int argc, char** argv) {
   cfg.n = static_cast<int>(opt.get_int("n"));
   const auto max_procs = static_cast<std::uint32_t>(opt.get_int("max-procs"));
 
-  std::printf("# Column Gaussian elimination / Cholesky, n=%d\n", cfg.n);
+  bench::Report rep(opt);
+  if (rep.text()) {
+    std::printf("# Column Gaussian elimination / Cholesky, n=%d\n", cfg.n);
+  }
 
   const std::uint64_t serial = run_one(1, Variant::kBase, cfg).run.sim_cycles;
 
@@ -51,21 +54,26 @@ int main(int argc, char** argv) {
     if (p == max_procs) {
       base32 = base.run.sim_cycles;
       both32 = both.run.sim_cycles;
+      rep.obs_from(both.run);
     }
   }
-  bench::print_table(t, opt);
+  rep.table(t);
 
   // Cache behaviour at full machine size: TASK affinity's extra L1 reuse.
   const auto procs = max_procs;
-  std::printf("\n# cache behaviour at P=%u\n", procs);
+  if (rep.text()) std::printf("\n# cache behaviour at P=%u\n", procs);
   auto mt = bench::miss_table();
   for (Variant v :
        {Variant::kBase, Variant::kObjectOnly, Variant::kTaskObject}) {
     const Result r = run_one(procs, v, cfg);
     bench::miss_row(mt, variant_name(v), r.run);
   }
-  bench::print_table(mt, opt);
-  std::printf("\nshape: Task+Object over Base at P=%u: +%.0f%%\n", max_procs,
-              bench::improvement_pct(base32, both32));
-  return 0;
+  rep.table(mt);
+  if (rep.text()) {
+    std::printf("\nshape: Task+Object over Base at P=%u: +%.0f%%\n", max_procs,
+                bench::improvement_pct(base32, both32));
+  }
+  rep.shape("task_object_over_base_pct",
+            bench::improvement_pct(base32, both32));
+  return rep.finish();
 }

@@ -38,9 +38,12 @@ int main(int argc, char** argv) {
   cfg.steps = static_cast<int>(opt.get_int("steps"));
   cfg.multigrid_levels = static_cast<int>(opt.get_int("mg-levels"));
 
+  bench::Report rep(opt);
   const auto max_procs = static_cast<std::uint32_t>(opt.get_int("max-procs"));
-  std::printf("# Ocean (grid %dx%d, %d grids, %d steps) on simulated DASH\n",
-              cfg.n, cfg.n, cfg.grids, cfg.steps);
+  if (rep.text()) {
+    std::printf("# Ocean (grid %dx%d, %d grids, %d steps) on simulated DASH\n",
+                cfg.n, cfg.n, cfg.grids, cfg.steps);
+  }
 
   // Serial baseline: the Base version on one processor.
   const std::uint64_t serial = run_one(1, Variant::kBase, cfg).run.sim_cycles;
@@ -60,10 +63,14 @@ int main(int argc, char** argv) {
     if (p == max_procs) {
       base32 = base.run.sim_cycles;
       cool32 = aff.run.sim_cycles;
+      rep.obs_from(aff.run);
     }
   }
-  bench::print_table(t, opt);
-  std::printf("\nshape: Distr+Aff over Base at P=%u: +%.0f%%\n", max_procs,
-              bench::improvement_pct(base32, cool32));
-  return 0;
+  rep.table(t);
+  if (rep.text()) {
+    std::printf("\nshape: Distr+Aff over Base at P=%u: +%.0f%%\n", max_procs,
+                bench::improvement_pct(base32, cool32));
+  }
+  rep.shape("distr_aff_over_base_pct", bench::improvement_pct(base32, cool32));
+  return rep.finish();
 }

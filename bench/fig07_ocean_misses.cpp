@@ -25,7 +25,8 @@ int main(int argc, char** argv) {
   cfg.steps = static_cast<int>(opt.get_int("steps"));
   const auto procs = static_cast<std::uint32_t>(opt.get_int("procs"));
 
-  std::printf("# Ocean cache behaviour at P=%u\n", procs);
+  bench::Report rep(opt);
+  if (rep.text()) std::printf("# Ocean cache behaviour at P=%u\n", procs);
   auto t = bench::miss_table();
   apps::RunResult cool_r;
   apps::RunResult base_r;
@@ -38,11 +39,16 @@ int main(int argc, char** argv) {
     if (v == Variant::kBase) base_r = r.run;
     if (v == Variant::kDistr) cool_r = r.run;
   }
-  bench::print_table(t, opt);
-  std::printf(
-      "\nshape: Distr+Aff services %.0f%% of misses locally vs %.0f%% for "
-      "Base\n",
-      100.0 * apps::local_fraction(cool_r.mem),
-      100.0 * apps::local_fraction(base_r.mem));
-  return 0;
+  rep.table(t);
+  if (rep.text()) {
+    std::printf(
+        "\nshape: Distr+Aff services %.0f%% of misses locally vs %.0f%% for "
+        "Base\n",
+        100.0 * apps::local_fraction(cool_r.mem),
+        100.0 * apps::local_fraction(base_r.mem));
+  }
+  rep.shape("distr_aff_local_pct", 100.0 * apps::local_fraction(cool_r.mem));
+  rep.shape("base_local_pct", 100.0 * apps::local_fraction(base_r.mem));
+  rep.obs_from(cool_r);
+  return rep.finish();
 }

@@ -42,9 +42,12 @@ int main(int argc, char** argv) {
   // synthetic circuit (the paper's region count is geographic, not per-P).
   cfg.regions = static_cast<int>(max_procs);
 
-  std::printf(
-      "# LocusRoute (synthetic circuit: %d regions x %d wires, %d iters)\n",
-      cfg.regions, cfg.wires_per_region, cfg.iterations);
+  bench::Report rep(opt);
+  if (rep.text()) {
+    std::printf(
+        "# LocusRoute (synthetic circuit: %d regions x %d wires, %d iters)\n",
+        cfg.regions, cfg.wires_per_region, cfg.iterations);
+  }
 
   const std::uint64_t serial = run_one(1, Variant::kBase, cfg).run.sim_cycles;
 
@@ -65,10 +68,15 @@ int main(int argc, char** argv) {
     if (p == max_procs) {
       base32 = base.run.sim_cycles;
       best32 = distr.run.sim_cycles;
+      rep.obs_from(distr.run);
     }
   }
-  bench::print_table(t, opt);
-  std::printf("\nshape: Affinity+ObjDistr over Base at P=%u: +%.0f%%\n",
-              max_procs, bench::improvement_pct(base32, best32));
-  return 0;
+  rep.table(t);
+  if (rep.text()) {
+    std::printf("\nshape: Affinity+ObjDistr over Base at P=%u: +%.0f%%\n",
+                max_procs, bench::improvement_pct(base32, best32));
+  }
+  rep.shape("affinity_distr_over_base_pct",
+            bench::improvement_pct(base32, best32));
+  return rep.finish();
 }

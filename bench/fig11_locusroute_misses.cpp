@@ -25,7 +25,8 @@ int main(int argc, char** argv) {
   const auto procs = static_cast<std::uint32_t>(opt.get_int("procs"));
   cfg.regions = static_cast<int>(procs);
 
-  std::printf("# LocusRoute cache behaviour at P=%u\n", procs);
+  bench::Report rep(opt);
+  if (rep.text()) std::printf("# LocusRoute cache behaviour at P=%u\n", procs);
   auto t = bench::miss_table();
   apps::RunResult base_r, aff_r, distr_r;
   for (Variant v :
@@ -39,13 +40,20 @@ int main(int argc, char** argv) {
     if (v == Variant::kAffinity) aff_r = r.run;
     if (v == Variant::kAffinityDistr) distr_r = r.run;
   }
-  bench::print_table(t, opt);
-  std::printf(
-      "\nshape: misses Base:Affinity = %.2f : 1 (paper: ~2:1); "
-      "local service %.0f%% -> %.0f%% with distribution\n",
+  rep.table(t);
+  const double miss_ratio =
       static_cast<double>(base_r.mem.misses()) /
-          static_cast<double>(aff_r.mem.misses() ? aff_r.mem.misses() : 1),
-      100.0 * apps::local_fraction(aff_r.mem),
-      100.0 * apps::local_fraction(distr_r.mem));
-  return 0;
+      static_cast<double>(aff_r.mem.misses() ? aff_r.mem.misses() : 1);
+  if (rep.text()) {
+    std::printf(
+        "\nshape: misses Base:Affinity = %.2f : 1 (paper: ~2:1); "
+        "local service %.0f%% -> %.0f%% with distribution\n",
+        miss_ratio, 100.0 * apps::local_fraction(aff_r.mem),
+        100.0 * apps::local_fraction(distr_r.mem));
+  }
+  rep.shape("base_over_affinity_miss_ratio", miss_ratio);
+  rep.shape("affinity_local_pct", 100.0 * apps::local_fraction(aff_r.mem));
+  rep.shape("distr_local_pct", 100.0 * apps::local_fraction(distr_r.mem));
+  rep.obs_from(distr_r);
+  return rep.finish();
 }

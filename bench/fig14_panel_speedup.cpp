@@ -37,8 +37,11 @@ int main(int argc, char** argv) {
   cfg.row_scale = static_cast<int>(opt.get_int("row-scale"));
   const auto max_procs = static_cast<std::uint32_t>(opt.get_int("max-procs"));
 
-  std::printf("# Panel Cholesky (synthetic sparse structure, %d panels)\n",
-              cfg.n_panels);
+  bench::Report rep(opt);
+  if (rep.text()) {
+    std::printf("# Panel Cholesky (synthetic sparse structure, %d panels)\n",
+                cfg.n_panels);
+  }
 
   const std::uint64_t serial =
       run_one(1, PanelVariant::kBase, cfg).run.sim_cycles;
@@ -60,10 +63,15 @@ int main(int argc, char** argv) {
     if (p == max_procs) {
       base32 = base.run.sim_cycles;
       best32 = std::min(aff.run.sim_cycles, clus.run.sim_cycles);
+      rep.obs_from(clus.run);
     }
   }
-  bench::print_table(t, opt);
-  std::printf("\nshape: best affinity version over Base at P=%u: +%.0f%%\n",
-              max_procs, bench::improvement_pct(base32, best32));
-  return 0;
+  rep.table(t);
+  if (rep.text()) {
+    std::printf("\nshape: best affinity version over Base at P=%u: +%.0f%%\n",
+                max_procs, bench::improvement_pct(base32, best32));
+  }
+  rep.shape("best_affinity_over_base_pct",
+            bench::improvement_pct(base32, best32));
+  return rep.finish();
 }

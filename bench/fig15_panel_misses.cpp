@@ -24,7 +24,10 @@ int main(int argc, char** argv) {
   cfg.row_scale = static_cast<int>(opt.get_int("row-scale"));
   const auto procs = static_cast<std::uint32_t>(opt.get_int("procs"));
 
-  std::printf("# Panel Cholesky cache behaviour at P=%u\n", procs);
+  bench::Report rep(opt);
+  if (rep.text()) {
+    std::printf("# Panel Cholesky cache behaviour at P=%u\n", procs);
+  }
   auto t = bench::miss_table();
   apps::RunResult base_r, distr_r, aff_r;
   for (PanelVariant v :
@@ -39,15 +42,25 @@ int main(int argc, char** argv) {
     if (v == PanelVariant::kDistr) distr_r = r.run;
     if (v == PanelVariant::kDistrAff) aff_r = r.run;
   }
-  bench::print_table(t, opt);
-  std::printf(
-      "\nshape: misses Base->Distr %.2fx (paper: ~unchanged); "
-      "Distr->Distr+Aff %.2fx fewer; local service %.0f%% -> %.0f%%\n",
+  rep.table(t);
+  const double distr_over_base =
       static_cast<double>(distr_r.mem.misses()) /
-          static_cast<double>(base_r.mem.misses() ? base_r.mem.misses() : 1),
+      static_cast<double>(base_r.mem.misses() ? base_r.mem.misses() : 1);
+  const double distr_over_aff =
       static_cast<double>(distr_r.mem.misses()) /
-          static_cast<double>(aff_r.mem.misses() ? aff_r.mem.misses() : 1),
-      100.0 * apps::local_fraction(distr_r.mem),
-      100.0 * apps::local_fraction(aff_r.mem));
-  return 0;
+      static_cast<double>(aff_r.mem.misses() ? aff_r.mem.misses() : 1);
+  if (rep.text()) {
+    std::printf(
+        "\nshape: misses Base->Distr %.2fx (paper: ~unchanged); "
+        "Distr->Distr+Aff %.2fx fewer; local service %.0f%% -> %.0f%%\n",
+        distr_over_base, distr_over_aff,
+        100.0 * apps::local_fraction(distr_r.mem),
+        100.0 * apps::local_fraction(aff_r.mem));
+  }
+  rep.shape("distr_over_base_miss_ratio", distr_over_base);
+  rep.shape("distr_over_aff_miss_ratio", distr_over_aff);
+  rep.shape("distr_local_pct", 100.0 * apps::local_fraction(distr_r.mem));
+  rep.shape("aff_local_pct", 100.0 * apps::local_fraction(aff_r.mem));
+  rep.obs_from(aff_r);
+  return rep.finish();
 }

@@ -33,8 +33,11 @@ int main(int argc, char** argv) {
   cfg.steps = static_cast<int>(opt.get_int("steps"));
   const auto max_procs = static_cast<std::uint32_t>(opt.get_int("max-procs"));
 
-  std::printf("# Barnes-Hut (%d bodies, theta=%.2f, %d steps)\n", cfg.n_bodies,
-              cfg.theta, cfg.steps);
+  bench::Report rep(opt);
+  if (rep.text()) {
+    std::printf("# Barnes-Hut (%d bodies, theta=%.2f, %d steps)\n",
+                cfg.n_bodies, cfg.theta, cfg.steps);
+  }
 
   const std::uint64_t serial = run_one(1, Variant::kBase, cfg).run.sim_cycles;
 
@@ -51,10 +54,14 @@ int main(int argc, char** argv) {
     if (p == max_procs) {
       base32 = base.run.sim_cycles;
       aff32 = aff.run.sim_cycles;
+      rep.obs_from(aff.run);
     }
   }
-  bench::print_table(t, opt);
-  std::printf("\nshape: Distr+Aff over Base at P=%u: +%.0f%%\n", max_procs,
-              bench::improvement_pct(base32, aff32));
-  return 0;
+  rep.table(t);
+  if (rep.text()) {
+    std::printf("\nshape: Distr+Aff over Base at P=%u: +%.0f%%\n", max_procs,
+                bench::improvement_pct(base32, aff32));
+  }
+  rep.shape("distr_aff_over_base_pct", bench::improvement_pct(base32, aff32));
+  return rep.finish();
 }

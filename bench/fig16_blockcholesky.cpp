@@ -36,8 +36,11 @@ int main(int argc, char** argv) {
   cfg.band = static_cast<int>(opt.get_int("band"));
   const auto max_procs = static_cast<std::uint32_t>(opt.get_int("max-procs"));
 
-  std::printf("# Block Cholesky (%dx%d blocks of %d^2 doubles)\n", cfg.blocks,
-              cfg.blocks, cfg.block_size);
+  bench::Report rep(opt);
+  if (rep.text()) {
+    std::printf("# Block Cholesky (%dx%d blocks of %d^2 doubles)\n", cfg.blocks,
+                cfg.blocks, cfg.block_size);
+  }
 
   const std::uint64_t serial =
       run_one(1, BlockVariant::kBase, cfg).run.sim_cycles;
@@ -55,10 +58,14 @@ int main(int argc, char** argv) {
     if (p == max_procs) {
       base32 = base.run.sim_cycles;
       aff32 = aff.run.sim_cycles;
+      rep.obs_from(aff.run);
     }
   }
-  bench::print_table(t, opt);
-  std::printf("\nshape: Distr+Aff over Base at P=%u: +%.0f%%\n", max_procs,
-              bench::improvement_pct(base32, aff32));
-  return 0;
+  rep.table(t);
+  if (rep.text()) {
+    std::printf("\nshape: Distr+Aff over Base at P=%u: +%.0f%%\n", max_procs,
+                bench::improvement_pct(base32, aff32));
+  }
+  rep.shape("distr_aff_over_base_pct", bench::improvement_pct(base32, aff32));
+  return rep.finish();
 }

@@ -4,12 +4,11 @@
 // with the old engine-wide lock, throughput fell as threads were added; with
 // per-server locking it must not.
 //
-// Output: one JSON line per thread count on stdout, e.g.
-//   {"bench":"micro_sched_throughput","threads":4,"tasks":400000,
-//    "seconds":0.52,"tasks_per_sec":769230.8,"steals":1234}
-// Redirect or append to a BENCH_*.json file to track scheduler-scaling
-// regressions across PRs:
-//   ./bench/micro_sched_throughput >> BENCH_sched_throughput.json
+// Output: a cool-bench/1 JSON record (obs/bench_json.hpp) with one series row
+// per thread count, on stdout by default. Write it into a run directory to
+// track scheduler-scaling regressions across PRs:
+//   ./bench/micro_sched_throughput --json-out=runs/today
+//   ./bench/runner --compare runs/yesterday runs/today
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -17,6 +16,8 @@
 #include <vector>
 
 #include "common/options.hpp"
+#include "common/table.hpp"
+#include "obs/bench_json.hpp"
 #include "sched/scheduler.hpp"
 #include "topology/machine.hpp"
 
@@ -118,6 +119,10 @@ int main(int argc, char** argv) {
   opt.add_int("tasks", 100000, "tasks per thread per measurement");
   opt.add_int("batch", 64, "tasks placed per worker batch");
   opt.add_int("warmup", 1, "warm-up repetitions before the measured run");
+  opt.add_flag("json", "accepted for uniformity; output is always the record");
+  opt.add_string("json-out", "",
+                 "write the JSON record to this file or directory "
+                 "(default: stdout)");
   if (!opt.parse(argc, argv)) return 0;
 
   const auto max_threads =
@@ -125,18 +130,37 @@ int main(int argc, char** argv) {
   const auto tasks = static_cast<std::size_t>(opt.get_int("tasks"));
   const auto batch = static_cast<std::size_t>(std::max<std::int64_t>(1, opt.get_int("batch")));
 
+  obs::BenchRecord rec(opt.program());
+  rec.set_config(opt);
+  util::Table t({"threads", "tasks", "seconds", "tasks_per_sec", "steals"});
+  double peak = 0.0;
   for (std::uint32_t n = 1; n <= max_threads; n *= 2) {
     for (std::int64_t w = 0; w < opt.get_int("warmup"); ++w) {
       (void)run_once(n, tasks / 10 + 1, batch);
     }
     const Result r = run_once(n, tasks, batch);
-    std::printf(
-        "{\"bench\":\"micro_sched_throughput\",\"threads\":%u,\"tasks\":%zu,"
-        "\"seconds\":%.4f,\"tasks_per_sec\":%.1f,\"steals\":%llu}\n",
-        r.threads, r.tasks, r.seconds,
-        r.seconds > 0 ? static_cast<double>(r.tasks) / r.seconds : 0.0,
-        static_cast<unsigned long long>(r.steals));
-    std::fflush(stdout);
+    const double rate =
+        r.seconds > 0 ? static_cast<double>(r.tasks) / r.seconds : 0.0;
+    peak = std::max(peak, rate);
+    t.row()
+        .cell(static_cast<std::uint64_t>(r.threads))
+        .cell(static_cast<std::uint64_t>(r.tasks))
+        .cell(r.seconds, 4)
+        .cell(rate, 1)
+        .cell(r.steals);
+  }
+  rec.add_series(t);
+  rec.add_shape("peak_tasks_per_sec", peak);
+  const std::string& out = opt.get_string("json-out");
+  if (out.empty()) {
+    const std::string j = rec.to_json();
+    std::fwrite(j.data(), 1, j.size(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
+  if (!rec.write_to(out)) {
+    std::fprintf(stderr, "failed to write record to %s\n", out.c_str());
+    return 1;
   }
   return 0;
 }

@@ -1,0 +1,281 @@
+// bench/runner — drive the benchmark fleet and manage its JSON records.
+//
+// Three modes:
+//   runner [--quick] [--out=DIR] [--only=SUBSTR]
+//       Execute every bench binary with --json (quick mode shrinks the
+//       problem sizes so the whole fleet finishes in seconds), validate each
+//       record against the cool-bench/1 schema, and write BENCH_<name>.json
+//       files into DIR. Exits non-zero if any bench fails or emits an
+//       invalid record.
+//   runner --list
+//       Print the fleet with the args each mode would use.
+//   runner --compare OLD NEW [--threshold=PCT]
+//       Diff two record directories: for every bench present in both, report
+//       each shape metric whose relative change exceeds PCT (default 5%),
+//       and note config mismatches that make the comparison apples-to-
+//       oranges. Exits non-zero when any metric regressed past the
+//       threshold.
+//
+// The bench binaries are expected next to the runner (the build drops
+// everything into build/bench/), overridable with --bin-dir.
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/options.hpp"
+#include "obs/bench_json.hpp"
+#include "obs/json.hpp"
+
+namespace fs = std::filesystem;
+using cool::obs::json::Value;
+
+namespace {
+
+struct Bench {
+  const char* name;
+  const char* quick_args;  ///< Shrunk problem for smoke runs.
+  const char* full_args;   ///< Paper-scale defaults ("" = binary defaults).
+};
+
+// Quick args keep every bench under a few seconds while still exercising the
+// full pipeline (multiple processor counts, all variants).
+constexpr std::array<Bench, 16> kFleet{{
+    {"tab01_affinity_hints", "--procs=8 --objects=32 --obj-kb=16 --tasks-per-obj=4", ""},
+    {"fig03_gauss_affinity", "--max-procs=8 --n=64", ""},
+    {"fig06_ocean_speedup", "--max-procs=8 --n=64 --grids=2 --steps=2", ""},
+    {"fig07_ocean_misses", "--procs=8 --n=64 --grids=2 --steps=2", ""},
+    {"fig10_locusroute_speedup", "--max-procs=8 --wires-per-region=16 --iterations=2", ""},
+    {"fig11_locusroute_misses", "--procs=8 --wires-per-region=16 --iterations=2", ""},
+    {"fig14_panel_speedup", "--max-procs=8 --panels=48", ""},
+    {"fig15_panel_misses", "--procs=8 --panels=48", ""},
+    {"fig16_barneshut", "--max-procs=8 --bodies=512 --steps=1", ""},
+    {"fig16_blockcholesky", "--max-procs=8 --blocks=8 --block-size=12", ""},
+    {"abl_queue_array", "--procs=8 --objects=32 --obj-kb=16 --tasks-per-obj=4", ""},
+    {"abl_steal_policy", "--procs=8 --panels=48", ""},
+    {"abl_region_size", "--procs=8 --total-wires=512 --total-width=512", ""},
+    {"abl_multi_object", "--procs=8 --pairs=16 --tasks-per-pair=2", ""},
+    {"abl_latency_ratio", "--procs=8 --n=64 --grids=2 --steps=2", ""},
+    {"micro_sched_throughput", "--max-threads=4 --tasks=20000 --warmup=0", ""},
+}};
+
+/// Run `cmd`, capturing stdout. Returns the child's exit status (-1 on popen
+/// failure).
+int capture(const std::string& cmd, std::string& out) {
+  out.clear();
+  std::FILE* p = ::popen(cmd.c_str(), "r");
+  if (p == nullptr) return -1;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, p)) > 0) out.append(buf, n);
+  return ::pclose(p);
+}
+
+int run_fleet(const std::string& bin_dir, const std::string& out_dir,
+              bool quick, const std::string& only) {
+  std::error_code ec;
+  fs::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "runner: cannot create %s: %s\n", out_dir.c_str(),
+                 ec.message().c_str());
+    return 2;
+  }
+  int failures = 0;
+  int ran = 0;
+  for (const Bench& b : kFleet) {
+    if (!only.empty() && std::string(b.name).find(only) == std::string::npos) {
+      continue;
+    }
+    const std::string exe = bin_dir + "/" + b.name;
+    if (!fs::exists(exe)) {
+      std::fprintf(stderr, "runner: SKIP %s (binary not found at %s)\n",
+                   b.name, exe.c_str());
+      ++failures;
+      continue;
+    }
+    const char* args = quick ? b.quick_args : b.full_args;
+    std::string cmd = exe + " --json";
+    if (args[0] != '\0') cmd += std::string(" ") + args;
+    std::printf("runner: %s\n", cmd.c_str());
+    std::fflush(stdout);
+    std::string text;
+    const int status = capture(cmd, text);
+    if (status != 0) {
+      std::fprintf(stderr, "runner: FAIL %s (exit status %d)\n", b.name,
+                   status);
+      ++failures;
+      continue;
+    }
+    const std::string err = cool::obs::validate_bench_json(text);
+    if (!err.empty()) {
+      std::fprintf(stderr, "runner: FAIL %s (invalid record: %s)\n", b.name,
+                   err.c_str());
+      ++failures;
+      continue;
+    }
+    const std::string path =
+        out_dir + "/BENCH_" + std::string(b.name) + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr ||
+        std::fwrite(text.data(), 1, text.size(), f) != text.size()) {
+      std::fprintf(stderr, "runner: FAIL %s (cannot write %s)\n", b.name,
+                   path.c_str());
+      if (f != nullptr) std::fclose(f);
+      ++failures;
+      continue;
+    }
+    std::fclose(f);
+    ++ran;
+  }
+  std::printf("runner: %d record(s) written to %s, %d failure(s)\n", ran,
+              out_dir.c_str(), failures);
+  return failures == 0 && ran > 0 ? 0 : 1;
+}
+
+bool load_record(const fs::path& path, Value& v) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  std::string err;
+  if (!cool::obs::json::parse(text, v, &err)) {
+    std::fprintf(stderr, "runner: %s: %s\n", path.c_str(), err.c_str());
+    return false;
+  }
+  return cool::obs::validate_bench_record(v).empty();
+}
+
+/// Relative change of b vs a in percent (0 when both are ~zero).
+double rel_pct(double a, double b) {
+  if (std::fabs(a) < 1e-12) return std::fabs(b) < 1e-12 ? 0.0 : 100.0;
+  return 100.0 * (b - a) / std::fabs(a);
+}
+
+int compare_runs(const std::string& old_dir, const std::string& new_dir,
+                 double threshold) {
+  int compared = 0;
+  int over = 0;
+  std::error_code ec;
+  std::vector<fs::path> olds;
+  for (const auto& e : fs::directory_iterator(old_dir, ec)) {
+    const std::string fn = e.path().filename().string();
+    if (fn.rfind("BENCH_", 0) == 0 && e.path().extension() == ".json") {
+      olds.push_back(e.path());
+    }
+  }
+  if (ec || olds.empty()) {
+    std::fprintf(stderr, "runner: no BENCH_*.json records in %s\n",
+                 old_dir.c_str());
+    return 2;
+  }
+  std::sort(olds.begin(), olds.end());
+  for (const fs::path& op : olds) {
+    const fs::path np = fs::path(new_dir) / op.filename();
+    if (!fs::exists(np)) {
+      std::printf("%-28s only in %s\n", op.filename().c_str(),
+                  old_dir.c_str());
+      continue;
+    }
+    Value a;
+    Value b;
+    if (!load_record(op, a) || !load_record(np, b)) {
+      std::fprintf(stderr, "runner: cannot load %s pair\n",
+                   op.filename().c_str());
+      ++over;
+      continue;
+    }
+    const std::string bench = a.find("bench")->str;
+    // Config drift makes metric deltas meaningless — call it out first.
+    const Value* ca = a.find("config");
+    const Value* cb = b.find("config");
+    for (const auto& [k, va] : ca->obj) {
+      const Value* vb = cb->find(k);
+      const bool same =
+          vb != nullptr && va.kind == vb->kind && va.num == vb->num &&
+          va.str == vb->str && va.boolean == vb->boolean;
+      if (!same) {
+        std::printf("%-28s config.%s differs between runs\n", bench.c_str(),
+                    k.c_str());
+      }
+    }
+    for (const auto& [k, va] : a.find("shape")->obj) {
+      const Value* vb = b.find("shape")->find(k);
+      if (vb == nullptr || !va.is_number() || !vb->is_number()) continue;
+      const double d = rel_pct(va.num, vb->num);
+      ++compared;
+      if (std::fabs(d) > threshold) {
+        std::printf("%-28s %-32s %12.4g -> %12.4g  (%+.1f%%)\n",
+                    bench.c_str(), k.c_str(), va.num, vb->num, d);
+        ++over;
+      }
+    }
+  }
+  std::printf(
+      "runner: compared %d shape metric(s), %d past the %.1f%% threshold\n",
+      compared, over, threshold);
+  return over == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cool::util::Options opt(
+      "runner", "execute the bench fleet, validate/collect/diff its records");
+  opt.add_flag("quick", "shrunk problem sizes (CI smoke: seconds, not hours)");
+  opt.add_flag("list", "print the fleet and per-mode arguments");
+  opt.add_flag("compare", "diff two record directories (args: OLD NEW)");
+  opt.add_string("out", ".", "directory for the BENCH_*.json records");
+  opt.add_string("only", "", "run only benches whose name contains this");
+  opt.add_string("bin-dir", "", "bench binary directory (default: argv[0]'s)");
+  opt.add_double("threshold", 5.0, "compare: flag shape changes beyond this %");
+  opt.add_string("old", "", "compare: baseline record directory");
+  opt.add_string("new", "", "compare: candidate record directory");
+
+  // Allow the two positional directories of --compare before parse() sees
+  // them (Options rejects non-option arguments).
+  std::vector<char*> args;
+  std::vector<std::string> positional;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') {
+      positional.emplace_back(argv[i]);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!opt.parse(static_cast<int>(args.size()), args.data())) return 0;
+
+  if (opt.flag("list")) {
+    for (const Bench& b : kFleet) {
+      std::printf("%-28s quick: %s\n", b.name, b.quick_args);
+    }
+    return 0;
+  }
+
+  if (opt.flag("compare")) {
+    std::string old_dir = opt.get_string("old");
+    std::string new_dir = opt.get_string("new");
+    if (old_dir.empty() && positional.size() >= 1) old_dir = positional[0];
+    if (new_dir.empty() && positional.size() >= 2) new_dir = positional[1];
+    if (old_dir.empty() || new_dir.empty()) {
+      std::fprintf(stderr, "runner: --compare needs OLD and NEW directories\n");
+      return 2;
+    }
+    return compare_runs(old_dir, new_dir, opt.get_double("threshold"));
+  }
+
+  std::string bin_dir = opt.get_string("bin-dir");
+  if (bin_dir.empty()) {
+    bin_dir = fs::path(argv[0]).parent_path().string();
+    if (bin_dir.empty()) bin_dir = ".";
+  }
+  return run_fleet(bin_dir, opt.get_string("out"), opt.flag("quick"),
+                   opt.get_string("only"));
+}

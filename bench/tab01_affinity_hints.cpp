@@ -29,9 +29,12 @@ int main(int argc, char** argv) {
   cfg.obj_kb = static_cast<std::size_t>(opt.get_int("obj-kb"));
   cfg.tasks_per_obj = static_cast<int>(opt.get_int("tasks-per-obj"));
 
-  std::printf(
-      "# %d objects x %zu KiB, %d tasks per object, interleaved spawn, P=%u\n",
-      cfg.objects, cfg.obj_kb, cfg.tasks_per_obj, procs);
+  bench::Report rep(opt);
+  if (rep.text()) {
+    std::printf(
+        "# %d objects x %zu KiB, %d tasks per object, interleaved spawn, P=%u\n",
+        cfg.objects, cfg.obj_kb, cfg.tasks_per_obj, procs);
+  }
 
   util::Table t({"hint", "cycles(K)", "L1-hit%", "local-miss%", "stolen%",
                  "steals"});
@@ -51,8 +54,9 @@ int main(int argc, char** argv) {
                   static_cast<double>(ss.spawned ? ss.spawned : 1),
               1)
         .cell(ss.steals);
+    if (h == Hint::kTaskObject) rep.obs_from(r.run);
   }
-  bench::print_table(t, opt);
+  rep.table(t);
 
   // Object distribution primitives (Table 1's migrate/home rows).
   {
@@ -65,11 +69,15 @@ int main(int argc, char** argv) {
       auto& c = co_await self();
       *cost = c.migrate(o, 5, n);
     }(obj, bytes, &migrate_cost));
-    std::printf(
-        "\nmigrate(obj, 5): %llu cycles (%zu pages); home(obj): %u -> %u\n",
-        static_cast<unsigned long long>(migrate_cost), (bytes + 4095) / 4096,
-        static_cast<unsigned>(home_before),
-        static_cast<unsigned>(rt.home(obj)));
+    if (rep.text()) {
+      std::printf(
+          "\nmigrate(obj, 5): %llu cycles (%zu pages); home(obj): %u -> %u\n",
+          static_cast<unsigned long long>(migrate_cost), (bytes + 4095) / 4096,
+          static_cast<unsigned>(home_before),
+          static_cast<unsigned>(rt.home(obj)));
+    }
+    rep.shape("migrate_cycles", static_cast<double>(migrate_cost));
+    rep.shape("home_after_migrate", static_cast<double>(rt.home(obj)));
   }
-  return 0;
+  return rep.finish();
 }

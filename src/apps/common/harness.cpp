@@ -8,6 +8,7 @@ RunResult collect(const Runtime& rt, double checksum) {
   r.tasks = rt.tasks_completed();
   if (const auto* mon = rt.monitor()) r.mem = mon->total();
   r.sched = rt.sched_stats();
+  r.obs = rt.obs_snapshot();
   r.checksum = checksum;
   if (r.sched.spawned > 0) {
     r.placement_adherence =

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/cool.hpp"
+#include "obs/metrics.hpp"
 
 namespace cool::apps {
 
@@ -22,6 +23,7 @@ struct RunResult {
   sched::SchedStats sched;            ///< Scheduler statistics.
   double checksum = 0.0;              ///< Application-defined result digest.
   double placement_adherence = 0.0;   ///< Fraction of tasks run un-stolen.
+  obs::Snapshot obs;                  ///< Full metrics snapshot of the run.
 };
 
 /// Collect the standard result block from a finished runtime.

@@ -131,6 +131,38 @@ const std::string& Options::get_string(const std::string& name) const {
   return lookup(name, Kind::kString).string_value;
 }
 
+std::vector<Options::NamedValue> Options::snapshot_values() const {
+  std::vector<NamedValue> out;
+  out.reserve(specs_.size());
+  for (const auto& [name, spec] : specs_) {
+    NamedValue v;
+    v.name = name;
+    switch (spec.kind) {
+      case Kind::kFlag:
+        v.kind = 'f';
+        v.value = spec.flag_value ? "true" : "false";
+        break;
+      case Kind::kInt:
+        v.kind = 'i';
+        v.value = std::to_string(spec.int_value);
+        break;
+      case Kind::kDouble: {
+        v.kind = 'd';
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", spec.double_value);
+        v.value = buf;
+        break;
+      }
+      case Kind::kString:
+        v.kind = 's';
+        v.value = spec.string_value;
+        break;
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
 std::string Options::usage() const {
   std::string out = program_ + " — " + description_ + "\n\noptions:\n";
   for (const auto& [name, spec] : specs_) {

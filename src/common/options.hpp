@@ -37,6 +37,20 @@ class Options {
 
   [[nodiscard]] std::string usage() const;
 
+  /// The program name this option set was declared for.
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+  /// One declared option's current (post-parse) value, for machine-readable
+  /// config capture. `kind` is 'f'lag, 'i'nt, 'd'ouble, or 's'tring; `value`
+  /// is the canonical text form ("true"/"false" for flags).
+  struct NamedValue {
+    std::string name;
+    char kind;
+    std::string value;
+  };
+  /// Every declared option with its effective value, in name order.
+  [[nodiscard]] std::vector<NamedValue> snapshot_values() const;
+
  private:
   enum class Kind { kFlag, kInt, kDouble, kString };
   struct Spec {

@@ -31,6 +31,15 @@ class Table {
   /// Render as RFC-4180-ish CSV (quotes cells containing commas/quotes).
   [[nodiscard]] std::string to_csv() const;
 
+  /// Structural access for machine-readable exports (obs::BenchRecord).
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows_data()
+      const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

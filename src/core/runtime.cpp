@@ -13,12 +13,16 @@ namespace cool {
 
 Runtime::Runtime(SystemConfig cfg) : cfg_(cfg) {
   cfg_.machine.validate();
+  obs_ = std::make_unique<obs::Registry>(cfg_.machine.n_procs);
   if (cfg_.mode == SystemConfig::Mode::kSim) {
     sim_ = std::make_unique<SimEngine>(cfg_.machine, cfg_.policy, cfg_.costs,
-                                       cfg_.trace);
+                                       cfg_.trace, cfg_.trace_ring_capacity);
+    sim_->attach_obs(*obs_);
     eng_ = sim_.get();
   } else {
-    thr_ = std::make_unique<ThreadEngine>(cfg_.machine, cfg_.policy);
+    thr_ = std::make_unique<ThreadEngine>(cfg_.machine, cfg_.policy,
+                                          cfg_.trace, cfg_.trace_ring_capacity);
+    thr_->attach_obs(*obs_);
     eng_ = thr_.get();
   }
   // Reserve the allocation arena (lazily backed; pages materialise on touch).
@@ -100,9 +104,79 @@ std::uint64_t Runtime::tasks_completed() const {
   return sim_ ? sim_->tasks_completed() : thr_->tasks_completed();
 }
 
-const std::vector<TraceEvent>& Runtime::trace() const {
-  static const std::vector<TraceEvent> kEmpty;
-  return sim_ ? sim_->trace() : kEmpty;
+std::vector<TraceEvent> Runtime::trace() const {
+  return spans_from_events(trace_events());
+}
+
+std::vector<obs::Event> Runtime::trace_events() const {
+  const obs::TraceCollector* tc =
+      sim_ ? sim_->trace_collector() : thr_->trace_collector();
+  return tc != nullptr ? tc->merged() : std::vector<obs::Event>{};
+}
+
+std::string Runtime::chrome_trace() const {
+  return obs::chrome_trace_json(trace_events());
+}
+
+obs::Snapshot Runtime::obs_snapshot() const {
+  obs::Snapshot s = obs_->snapshot();
+  auto put = [&s](const char* name, std::uint64_t v) { s.values[name] = v; };
+
+  put("tasks.completed", tasks_completed());
+
+  const sched::SchedStats ss = sched_stats();
+  put("sched.spawned", ss.spawned);
+  put("sched.pops", ss.pops);
+  put("sched.steals", ss.steals);
+  put("sched.set_steals", ss.set_steals);
+  put("sched.tasks_stolen", ss.tasks_stolen);
+  put("sched.remote_cluster_steals", ss.remote_cluster_steals);
+  put("sched.failed_steal_scans", ss.failed_steal_scans);
+  put("sched.resumes", ss.resumes);
+
+  const sched::Scheduler& sch =
+      sim_ ? sim_->scheduler() : thr_->scheduler();
+  std::uint64_t max_depth = 0;
+  for (std::uint32_t p = 0; p < cfg_.machine.n_procs; ++p) {
+    max_depth = std::max<std::uint64_t>(max_depth, sch.queues(p).max_depth());
+  }
+  put("sched.queue.max_depth", max_depth);
+  put("sched.queue.now", sch.total_queued());
+
+  if (sim_) {
+    put("sim.time", sim_time());
+    const auto mem = monitor()->total();
+    put("mem.accesses", mem.accesses());
+    put("mem.misses", mem.misses());
+    put("mem.local_misses", mem.local_misses());
+    put("mem.remote_misses", mem.remote_misses());
+    put("mem.upgrades", mem.upgrades);
+    put("mem.invals_sent", mem.invals_sent);
+    put("mem.writebacks", mem.writebacks);
+    put("mem.latency_cycles", mem.latency_cycles);
+    put("mem.contention_cycles", mem.contention_cycles);
+    put("mem.pages_migrated", mem.pages_migrated);
+    put("mem.prefetches", mem.prefetches);
+    std::uint64_t busy = 0;
+    std::uint64_t idle = 0;
+    std::uint64_t sched_cycles = 0;
+    for (const ProcUtil& u : sim_->utilization()) {
+      busy += u.busy;
+      idle += u.idle;
+      sched_cycles += u.sched;
+    }
+    put("proc.busy_cycles", busy);
+    put("proc.idle_cycles", idle);
+    put("proc.sched_cycles", sched_cycles);
+  }
+
+  const obs::TraceCollector* tc =
+      sim_ ? sim_->trace_collector() : thr_->trace_collector();
+  if (tc != nullptr) {
+    put("obs.trace.events", tc->total_size());
+    put("obs.trace.dropped", tc->total_dropped());
+  }
+  return s;
 }
 
 std::string Runtime::report() const {

@@ -16,6 +16,8 @@
 #include "core/sim_engine.hpp"
 #include "core/taskfn.hpp"
 #include "core/thread_engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "topology/machine.hpp"
 
@@ -28,7 +30,13 @@ struct SystemConfig {
   sched::Policy policy;
   CostModel costs;
   std::uint64_t thread_timeout_ms = 60000;  ///< kThreads deadlock guard.
-  bool trace = false;  ///< Record per-span TraceEvents (kSim only).
+  /// Record typed trace events (task spans, steals, migrations, idle gaps)
+  /// into per-processor ring buffers. Works under both engines; kSim stamps
+  /// simulated cycles, kThreads stamps wall-clock microseconds.
+  bool trace = false;
+  /// Capacity of each per-processor trace ring; on overflow the oldest
+  /// events are dropped (and counted — see obs.trace.dropped).
+  std::size_t trace_ring_capacity = 1 << 16;
   /// Size of the runtime's allocation arena (virtual memory, touched lazily).
   /// Allocations are bump-allocated from it so simulated addresses are
   /// arena-relative and every run is bit-reproducible.
@@ -85,8 +93,24 @@ class Runtime {
   [[nodiscard]] sched::SchedStats sched_stats() const;
   [[nodiscard]] std::vector<ProcUtil> utilization() const;
   [[nodiscard]] std::uint64_t tasks_completed() const;
-  /// Execution trace (empty unless SystemConfig::trace and Mode::kSim).
-  [[nodiscard]] const std::vector<TraceEvent>& trace() const;
+
+  /// Task-span projection of the trace (empty unless SystemConfig::trace).
+  [[nodiscard]] std::vector<TraceEvent> trace() const;
+  /// Full typed event stream, merged across processors and sorted by start
+  /// time (empty unless SystemConfig::trace).
+  [[nodiscard]] std::vector<obs::Event> trace_events() const;
+  /// The merged trace rendered as Chrome trace-event JSON (load it in
+  /// chrome://tracing or Perfetto). Empty-trace JSON when tracing is off.
+  [[nodiscard]] std::string chrome_trace() const;
+
+  /// The metrics registry: live counters updated by the scheduler and the
+  /// engines while tasks run. Register application metrics here too.
+  [[nodiscard]] obs::Registry& obs() noexcept { return *obs_; }
+  /// Point-in-time snapshot of the registry, augmented with the derived
+  /// counters the runtime already tracks (mem.*, sched.*, proc.*, sim.time,
+  /// tasks.completed, queue depths, trace drop counts) so one call captures
+  /// the whole observable state of a run.
+  [[nodiscard]] obs::Snapshot obs_snapshot() const;
 
   /// Human-readable post-run summary: completion time, task counts,
   /// scheduler activity, memory-system behaviour, and load balance.
@@ -102,6 +126,8 @@ class Runtime {
 
  private:
   SystemConfig cfg_;
+  std::unique_ptr<obs::Registry> obs_;  ///< Declared before the engines: the
+                                        ///< handles they hold point into it.
   std::unique_ptr<SimEngine> sim_;
   std::unique_ptr<ThreadEngine> thr_;
   Engine* eng_ = nullptr;

@@ -8,7 +8,7 @@ namespace cool {
 
 SimEngine::SimEngine(const topo::MachineConfig& machine,
                      const sched::Policy& policy, const CostModel& costs,
-                     bool trace_enabled)
+                     bool trace_enabled, std::size_t trace_capacity)
     : machine_(machine),
       costs_(costs),
       mem_(machine_),
@@ -17,8 +17,17 @@ SimEngine::SimEngine(const topo::MachineConfig& machine,
                return mem_.home_of(tr(addr), toucher);
              }),
       procs_(machine_.n_procs),
-      util_(machine_.n_procs),
-      trace_enabled_(trace_enabled) {}
+      util_(machine_.n_procs) {
+  if (trace_enabled) {
+    trace_ = std::make_unique<obs::TraceCollector>(machine_.n_procs,
+                                                   trace_capacity);
+  }
+}
+
+void SimEngine::attach_obs(obs::Registry& reg) {
+  obs_parks_ = reg.counter("engine.parks");
+  sched_.attach_obs(reg);
+}
 
 SimEngine::~SimEngine() {
   for (TaskRecord* rec : live_recs_) destroy_record(rec);
@@ -34,7 +43,10 @@ void SimEngine::reinsert(topo::ProcId p) {
   runq_.insert({procs_[p].clock, p});
 }
 
-void SimEngine::park(topo::ProcId p) { procs_[p].parked = true; }
+void SimEngine::park(topo::ProcId p) {
+  procs_[p].parked = true;
+  obs_parks_.add(p);
+}
 
 void SimEngine::wake_parked() {
   for (std::uint32_t p = 0; p < machine_.n_procs; ++p) {
@@ -67,7 +79,12 @@ std::uint64_t SimEngine::now(const Ctx& c) const { return procs_[c.proc_].clock;
 std::uint64_t SimEngine::migrate(Ctx& c, std::uint64_t addr,
                                  std::uint64_t bytes, topo::ProcId target) {
   const std::uint64_t cost = mem_.migrate(c.proc_, tr(addr), bytes, target);
+  const std::uint64_t t0 = procs_[c.proc_].clock;
   procs_[c.proc_].clock += cost;
+  if (trace_) {
+    trace_->buf(c.proc_).record(obs::Event{
+        t0, t0 + cost, target, bytes, c.proc_, obs::EventKind::kMigration, 0});
+  }
   return cost;
 }
 
@@ -134,6 +151,10 @@ void SimEngine::step(topo::ProcId p) {
       overhead = acq.stolen_remote_cluster ? costs_.steal_remote
                                            : costs_.steal_local;
       ++util_[p].steals;
+      if (trace_) {
+        trace_->buf(p).record(obs::Event{pr.clock, pr.clock, acq.victim, 1, p,
+                                         obs::EventKind::kSteal, 0});
+      }
     }
     pr.clock += overhead;
     util_[p].sched += overhead;
@@ -153,6 +174,10 @@ void SimEngine::step(topo::ProcId p) {
     }
     if (rec->desc.ready_time > pr.clock) {
       util_[p].idle += rec->desc.ready_time - pr.clock;
+      if (trace_) {
+        trace_->buf(p).record(obs::Event{pr.clock, rec->desc.ready_time, 0, 0,
+                                         p, obs::EventKind::kIdleGap, 0});
+      }
       pr.clock = rec->desc.ready_time;
     }
     pr.current = rec;
@@ -171,17 +196,15 @@ void SimEngine::step(topo::ProcId p) {
   const bool was_stolen = rec->desc.stolen;
   rec->handle.resume();
   util_[p].busy += pr.clock - t0;
-  if (trace_enabled_) {
-    TraceEvent ev;
-    ev.task_seq = task_seq;
-    ev.proc = p;
-    ev.start = t0;
-    ev.end = pr.clock;
-    ev.stolen = was_stolen;
-    ev.how = disp_ == Disposition::kCompleted ? TraceEvent::End::kCompleted
-             : disp_ == Disposition::kBlocked ? TraceEvent::End::kBlocked
-                                              : TraceEvent::End::kYielded;
-    trace_.push_back(ev);
+  if (trace_) {
+    const std::uint8_t end = disp_ == Disposition::kCompleted
+                                 ? obs::kSpanCompleted
+                             : disp_ == Disposition::kBlocked
+                                 ? obs::kSpanBlocked
+                                 : obs::kSpanYielded;
+    trace_->buf(p).record(obs::Event{t0, pr.clock, task_seq, 0, p,
+                                     obs::EventKind::kTaskSpan,
+                                     obs::span_flags(was_stolen, end)});
   }
 
   switch (disp_) {

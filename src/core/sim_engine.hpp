@@ -22,6 +22,8 @@
 #include "core/trace.hpp"
 #include "core/taskfn.hpp"
 #include "memsim/memsystem.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "topology/machine.hpp"
 
@@ -39,7 +41,8 @@ struct ProcUtil {
 class SimEngine final : public Engine {
  public:
   SimEngine(const topo::MachineConfig& machine, const sched::Policy& policy,
-            const CostModel& costs, bool trace_enabled = false);
+            const CostModel& costs, bool trace_enabled = false,
+            std::size_t trace_capacity = 1 << 16);
   ~SimEngine() override;
 
   /// Drive `root` (and everything it spawns) to completion. Throws on task
@@ -61,9 +64,12 @@ class SimEngine final : public Engine {
   [[nodiscard]] std::uint64_t tasks_completed() const noexcept {
     return tasks_completed_;
   }
-  [[nodiscard]] const std::vector<TraceEvent>& trace() const noexcept {
-    return trace_;
+  /// Ring-buffer trace collector (null unless tracing was enabled).
+  [[nodiscard]] const obs::TraceCollector* trace_collector() const noexcept {
+    return trace_.get();
   }
+  /// Register engine+scheduler live metrics with `reg` (see Scheduler).
+  void attach_obs(obs::Registry& reg);
 
   // --- Engine interface ----------------------------------------------------
   void mem_access(Ctx& c, std::uint64_t addr, std::uint64_t bytes,
@@ -125,8 +131,8 @@ class SimEngine final : public Engine {
   std::exception_ptr err_;
   bool running_ = false;
   std::uint64_t addr_base_ = 0;
-  bool trace_enabled_ = false;
-  std::vector<TraceEvent> trace_;
+  std::unique_ptr<obs::TraceCollector> trace_;  ///< Null when tracing is off.
+  obs::Counter obs_parks_;  ///< Idle transitions (detached until attach_obs).
 };
 
 }  // namespace cool

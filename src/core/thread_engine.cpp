@@ -7,7 +7,8 @@
 namespace cool {
 
 ThreadEngine::ThreadEngine(const topo::MachineConfig& machine,
-                           const sched::Policy& policy)
+                           const sched::Policy& policy, bool trace_enabled,
+                           std::size_t trace_capacity)
     : machine_(machine),
       pages_(machine_),
       sched_(machine_, policy,
@@ -17,8 +18,13 @@ ThreadEngine::ThreadEngine(const topo::MachineConfig& machine,
                std::lock_guard g(big_);
                return pages_.home_of(addr, toucher);
              }),
-      disp_(machine_.n_procs, Disposition::kNone) {
+      disp_(machine_.n_procs, Disposition::kNone),
+      trace_t0_(std::chrono::steady_clock::now()) {
   machine_.validate();
+  if (trace_enabled) {
+    trace_ = std::make_unique<obs::TraceCollector>(machine_.n_procs,
+                                                   trace_capacity);
+  }
 }
 
 ThreadEngine::~ThreadEngine() {
@@ -48,6 +54,7 @@ void ThreadEngine::bind_range(std::uint64_t addr, std::uint64_t bytes,
 
 void ThreadEngine::spawn_record(TaskRecord* rec, Ctx* spawner) {
   const topo::ProcId from = spawner != nullptr ? spawner->proc_ : 0;
+  rec->desc.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   live_.fetch_add(1);
   {
     std::lock_guard g(big_);
@@ -76,7 +83,24 @@ void ThreadEngine::execute(topo::ProcId id, TaskRecord* rec) {
   rec->state = TaskState::kRunning;
   disp_[id] = Disposition::kNone;
 
+  // Snapshot before resume(): on completion/block the record is freed or
+  // handed to another owner, so it is off-limits afterwards.
+  const std::uint64_t task_seq = rec->desc.seq;
+  const bool was_stolen = rec->desc.stolen;
+  const std::uint64_t t0 = trace_ ? now_us() : 0;
+
   rec->handle.resume();
+
+  if (trace_) {
+    const std::uint8_t end = disp_[id] == Disposition::kCompleted
+                                 ? obs::kSpanCompleted
+                             : disp_[id] == Disposition::kBlocked
+                                 ? obs::kSpanBlocked
+                                 : obs::kSpanYielded;
+    trace_->buf(id).record(obs::Event{t0, now_us(), task_seq, 0, id,
+                                      obs::EventKind::kTaskSpan,
+                                      obs::span_flags(was_stolen, end)});
+  }
 
   switch (disp_[id]) {
     case Disposition::kCompleted: {
@@ -123,6 +147,11 @@ void ThreadEngine::worker_loop(topo::ProcId id) {
     const std::uint64_t seen = sched_.work_version();
     const auto acq = sched_.acquire(id);
     if (acq.task != nullptr) {
+      if (trace_ && acq.stolen) {
+        const std::uint64_t t = now_us();
+        trace_->buf(id).record(
+            obs::Event{t, t, acq.victim, 1, id, obs::EventKind::kSteal, 0});
+      }
       execute(id, TaskRecord::of(acq.task));
       continue;
     }

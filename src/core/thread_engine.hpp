@@ -7,6 +7,11 @@
 // work are no-ops, now() is 0, and migrate()/home() only update the page map
 // so affinity placement still works.
 //
+// Tracing: with trace_enabled, each worker records task-span events into its
+// own obs ring buffer (single writer, no locks) with microsecond wall-clock
+// timestamps, so real-thread runs get the same span/steal observability as
+// the simulator (Runtime::trace(), chrome_trace()).
+//
 // Locking: every scheduling operation (place/acquire/enqueue/steal) goes
 // straight to the internally-sharded Scheduler with NO engine lock — workers
 // contend only on individual per-server queue mutexes. `big_` survives only
@@ -16,9 +21,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_set>
@@ -29,6 +36,8 @@
 #include "core/record.hpp"
 #include "core/taskfn.hpp"
 #include "memsim/pagemap.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "topology/machine.hpp"
 
@@ -36,7 +45,8 @@ namespace cool {
 
 class ThreadEngine final : public Engine {
  public:
-  ThreadEngine(const topo::MachineConfig& machine, const sched::Policy& policy);
+  ThreadEngine(const topo::MachineConfig& machine, const sched::Policy& policy,
+               bool trace_enabled = false, std::size_t trace_capacity = 1 << 16);
   ~ThreadEngine() override;
 
   /// Drive `root` to completion using n_procs worker threads. Throws the
@@ -44,9 +54,19 @@ class ThreadEngine final : public Engine {
   void run(TaskFn&& root, std::uint64_t timeout_ms = 60000);
 
   sched::Scheduler& scheduler() noexcept { return sched_; }
+  [[nodiscard]] const sched::Scheduler& scheduler() const noexcept {
+    return sched_;
+  }
   [[nodiscard]] std::uint64_t tasks_completed() const noexcept {
     return tasks_completed_.load();
   }
+  /// Ring-buffer trace collector (null unless tracing was enabled). Read only
+  /// after run() returned — workers write concurrently during a run.
+  [[nodiscard]] const obs::TraceCollector* trace_collector() const noexcept {
+    return trace_.get();
+  }
+  /// Register engine+scheduler live metrics with `reg` (see Scheduler).
+  void attach_obs(obs::Registry& reg) { sched_.attach_obs(reg); }
 
   // --- Engine interface ----------------------------------------------------
   void mem_access(Ctx&, std::uint64_t, std::uint64_t, bool) override {}
@@ -91,9 +111,21 @@ class ThreadEngine final : public Engine {
 
   std::atomic<std::uint64_t> live_{0};
   std::atomic<std::uint64_t> tasks_completed_{0};
+  std::atomic<std::uint64_t> seq_{0};  ///< Spawn sequence numbers for tracing.
   std::vector<Disposition> disp_;  ///< Per worker; touched only by that worker.
   std::mutex err_m_;
   std::exception_ptr err_;
+
+  std::unique_ptr<obs::TraceCollector> trace_;  ///< Null when tracing is off.
+  std::chrono::steady_clock::time_point trace_t0_;
+
+  /// Microseconds since engine construction (the trace timebase).
+  [[nodiscard]] std::uint64_t now_us() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - trace_t0_)
+            .count());
+  }
 };
 
 }  // namespace cool

@@ -61,4 +61,25 @@ std::string render_trace_report(const std::vector<TraceEvent>& events,
   return t.to_string();
 }
 
+std::vector<TraceEvent> spans_from_events(
+    const std::vector<obs::Event>& events) {
+  std::vector<TraceEvent> out;
+  out.reserve(events.size());
+  for (const obs::Event& e : events) {
+    if (e.kind != obs::EventKind::kTaskSpan) continue;
+    TraceEvent t;
+    t.task_seq = e.a;
+    t.proc = e.proc;
+    t.start = e.start;
+    t.end = e.end;
+    t.stolen = (e.flags & obs::kSpanStolen) != 0;
+    const std::uint8_t end = obs::span_end(e.flags);
+    t.how = end == obs::kSpanBlocked   ? TraceEvent::End::kBlocked
+            : end == obs::kSpanYielded ? TraceEvent::End::kYielded
+                                       : TraceEvent::End::kCompleted;
+    out.push_back(t);
+  }
+  return out;
+}
+
 }  // namespace cool

@@ -1,16 +1,20 @@
-// Execution tracing for the simulation engine.
+// Task-span view of an execution trace.
 //
-// When SystemConfig::trace is set, the engine records one span per task
-// resume (which processor ran which task, over which simulated interval, and
-// how the span ended). The report renderer turns the spans into a per-
-// processor utilisation table and a coarse ASCII timeline — handy for seeing
-// exactly how an affinity hint changed the schedule.
+// When SystemConfig::trace is set, the engines record typed obs::Events into
+// per-processor ring buffers (obs/trace.hpp). TraceEvent is the legacy
+// span-only projection of that stream — which processor ran which task, over
+// which interval, and how the span ended — and render_trace_report turns
+// spans into a per-processor utilisation table plus a coarse ASCII timeline,
+// handy for seeing exactly how an affinity hint changed the schedule. For
+// the full event stream (steals, migrations, idle gaps) use
+// Runtime::trace_events() / Runtime::chrome_trace() instead.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "topology/machine.hpp"
 
 namespace cool {
@@ -35,5 +39,9 @@ struct TraceEvent {
 std::string render_trace_report(const std::vector<TraceEvent>& events,
                                 std::uint32_t n_procs, std::uint64_t finish,
                                 int width = 64);
+
+/// Project the typed obs event stream down to its task spans (other event
+/// kinds are skipped).
+std::vector<TraceEvent> spans_from_events(const std::vector<obs::Event>& events);
 
 }  // namespace cool

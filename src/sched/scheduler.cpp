@@ -9,13 +9,33 @@ Scheduler::Scheduler(const topo::MachineConfig& machine, Policy policy,
     : machine_(machine),
       policy_(policy),
       home_(std::move(home)),
-      stats_(machine.n_procs) {
+      stats_(machine.n_procs),
+      run_track_(machine.n_procs) {
   COOL_CHECK(home_ != nullptr, "scheduler needs a home resolver");
   COOL_CHECK(policy_.affinity_array_size >= 1, "affinity array size must be >= 1");
   for (std::uint32_t p = 0; p < machine_.n_procs; ++p) {
     queues_.emplace_back(policy_.affinity_array_size);
     gates_.emplace_back();
   }
+}
+
+void Scheduler::attach_obs(obs::Registry& reg) {
+  obs_idle_sleeps_ = reg.counter("sched.idle.sleeps");
+  obs_idle_wakeups_ = reg.counter("sched.idle.wakeups");
+  obs_steal_scan_ = reg.histogram("sched.steal_scan_victims");
+  obs_run_length_ = reg.histogram("sched.affinity_run_length");
+}
+
+void Scheduler::note_run(topo::ProcId proc, std::uint64_t key) {
+  if (!obs_run_length_.attached()) return;
+  RunTrack& t = run_track_[proc];
+  if (key != 0 && key == t.key) {
+    ++t.len;
+    return;
+  }
+  if (t.len > 0) obs_run_length_.observe(proc, t.len);
+  t.key = key;
+  t.len = key != 0 ? 1 : 0;
 }
 
 void Scheduler::wake_gate(IdleGate& g) {
@@ -182,6 +202,7 @@ Scheduler::Acquired Scheduler::acquire(topo::ProcId proc) {
   Acquired out;
   if (TaskDesc* t = queues_[proc].pop()) {
     st.pops.fetch_add(1, std::memory_order_relaxed);
+    note_run(proc, t->aff_key);
     out.task = t;
     return out;
   }
@@ -192,15 +213,18 @@ Scheduler::Acquired Scheduler::acquire(topo::ProcId proc) {
   // cluster_only, never leave the cluster.
   const std::uint32_t P = machine_.n_procs;
   bool busy = false;
+  std::uint64_t probed = 0;
   auto scan = [&](bool same_cluster_pass) -> TaskDesc* {
     for (std::uint32_t i = 1; i < P; ++i) {
       const auto victim = static_cast<topo::ProcId>((proc + i) % P);
       const bool same = machine_.same_cluster(proc, victim);
       if (same_cluster_pass != same) continue;
+      ++probed;
       if (TaskDesc* t = try_steal(proc, victim, busy)) {
         st.steals.fetch_add(1, std::memory_order_relaxed);
         out.stolen = true;
         out.stolen_remote_cluster = !same;
+        out.victim = victim;
         if (!same) {
           st.remote_cluster_steals.fetch_add(1, std::memory_order_relaxed);
         }
@@ -212,35 +236,45 @@ Scheduler::Acquired Scheduler::acquire(topo::ProcId proc) {
 
   if (policy_.cluster_first || policy_.cluster_only) {
     if (TaskDesc* t = scan(/*same_cluster_pass=*/true)) {
+      obs_steal_scan_.observe(proc, probed);
+      note_run(proc, t->aff_key);
       out.task = t;
       return out;
     }
     if (policy_.cluster_only) {
       st.failed_steal_scans.fetch_add(1, std::memory_order_relaxed);
+      obs_steal_scan_.observe(proc, probed);
       out.contended = busy;
       return out;
     }
     if (TaskDesc* t = scan(/*same_cluster_pass=*/false)) {
+      obs_steal_scan_.observe(proc, probed);
+      note_run(proc, t->aff_key);
       out.task = t;
       return out;
     }
   } else {
     for (std::uint32_t i = 1; i < P; ++i) {
       const auto victim = static_cast<topo::ProcId>((proc + i) % P);
+      ++probed;
       if (TaskDesc* t = try_steal(proc, victim, busy)) {
         st.steals.fetch_add(1, std::memory_order_relaxed);
         out.stolen = true;
         const bool same = machine_.same_cluster(proc, victim);
         out.stolen_remote_cluster = !same;
+        out.victim = victim;
         if (!same) {
           st.remote_cluster_steals.fetch_add(1, std::memory_order_relaxed);
         }
+        obs_steal_scan_.observe(proc, probed);
+        note_run(proc, t->aff_key);
         out.task = t;
         return out;
       }
     }
   }
   st.failed_steal_scans.fetch_add(1, std::memory_order_relaxed);
+  obs_steal_scan_.observe(proc, probed);
   out.contended = busy;
   return out;
 }

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
 #include "sched/queues.hpp"
 #include "topology/machine.hpp"
 
@@ -108,6 +109,7 @@ class Scheduler {
     TaskDesc* task = nullptr;
     bool stolen = false;
     bool stolen_remote_cluster = false;
+    topo::ProcId victim = 0;  ///< Who the task was stolen from (when stolen).
     /// A steal scan skipped at least one victim whose lock was busy. The
     /// caller should retry (spin) instead of sleeping: the busy victim may
     /// hold stealable work that was invisible to this scan.
@@ -136,11 +138,13 @@ class Scheduler {
   /// must be safe to call from any thread (read atomics only).
   template <typename Pred>
   void wait_for_work(topo::ProcId proc, std::uint64_t seen, Pred give_up) {
+    obs_idle_sleeps_.add(proc);
     IdleGate& g = gates_[proc];
     std::unique_lock l(g.m);
     g.sleeping.store(true);
     g.cv.wait(l, [&] { return work_version_.load() != seen || give_up(); });
     g.sleeping.store(false);
+    obs_idle_wakeups_.add(proc);
   }
 
   /// Wake every sleeping worker (shutdown / completion). Bumps the version so
@@ -155,6 +159,13 @@ class Scheduler {
 
   /// Aggregate the per-server stat shards into one snapshot.
   [[nodiscard]] SchedStats stats() const;
+
+  /// Register the scheduler's live metrics (steal-scan lengths, idle
+  /// transitions, affinity-set run lengths) with an obs registry whose shard
+  /// count covers this machine's processors. Call before any scheduling
+  /// activity; un-attached, the hooks are no-ops. The registry must outlive
+  /// the scheduler.
+  void attach_obs(obs::Registry& reg);
 
   [[nodiscard]] const ServerQueues& queues(topo::ProcId p) const {
     return queues_.at(p);
@@ -191,6 +202,17 @@ class Scheduler {
     std::atomic<bool> sleeping{false};
   };
 
+  /// Per-processor tracker of how many tasks of one affinity set ran
+  /// back-to-back (paper §5's motivation for the queue array). Updated only
+  /// by the owning processor's acquire() calls, so no synchronisation.
+  struct alignas(64) RunTrack {
+    std::uint64_t key = 0;
+    std::uint64_t len = 0;
+  };
+
+  /// Close the current affinity run (if any) and start one for `key`.
+  void note_run(topo::ProcId proc, std::uint64_t key);
+
   TaskDesc* try_steal(topo::ProcId thief, topo::ProcId victim, bool& busy);
   /// Bump the work version and wake `server`'s worker if it sleeps, else the
   /// next sleeping worker (any idle processor may steal the new task).
@@ -205,6 +227,13 @@ class Scheduler {
   std::deque<IdleGate> gates_;       // deque: IdleGate is not movable
   std::atomic<std::uint64_t> work_version_{0};
   std::atomic<std::uint64_t> rr_next_{0};  ///< Base-mode round-robin cursor.
+
+  // Optional obs instrumentation (detached no-ops until attach_obs()).
+  std::vector<RunTrack> run_track_;
+  obs::Counter obs_idle_sleeps_;
+  obs::Counter obs_idle_wakeups_;
+  obs::Histogram obs_steal_scan_;   ///< Victims probed per steal scan.
+  obs::Histogram obs_run_length_;   ///< Affinity-set back-to-back run lengths.
 };
 
 }  // namespace cool::sched

@@ -6,6 +6,8 @@
 #include <map>
 
 #include "core/cool.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 
 namespace cool {
 namespace {
@@ -127,6 +129,54 @@ TEST(Trace, ReportRendersAllProcessors) {
 
 TEST(Trace, ReportHandlesEmptyTrace) {
   const std::string report = render_trace_report({}, 2, 0, 16);
+  EXPECT_NE(report.find("p0"), std::string::npos);
+}
+
+TEST(Trace, RingCapacityBoundsRetainedEvents) {
+  SystemConfig sc;
+  sc.machine = topo::MachineConfig::dash(2);
+  sc.trace = true;
+  sc.trace_ring_capacity = 8;  // Tiny ring: a 64-task fanout must wrap.
+  Runtime rt(sc);
+  rt.run(fanout(64));
+  EXPECT_LE(rt.trace_events().size(), 16u);  // <= capacity per processor.
+  const auto snap = rt.obs_snapshot();
+  EXPECT_GT(snap.values.at("obs.trace.dropped"), 0u);
+  EXPECT_EQ(snap.values.at("obs.trace.events"), rt.trace_events().size());
+}
+
+TEST(Trace, ChromeExportParsesAndCoversSpans) {
+  Runtime rt = traced_rt(4);
+  rt.run(fanout(16));
+  const std::string text = rt.chrome_trace();
+  obs::json::Value v;
+  std::string err;
+  ASSERT_TRUE(obs::json::parse(text, v, &err)) << err;
+  ASSERT_NE(v.find("traceEvents"), nullptr);
+  EXPECT_EQ(v.find("traceEvents")->arr.size(), rt.trace_events().size());
+}
+
+TEST(Trace, ThreadEngineRecordsSpans) {
+  SystemConfig sc;
+  sc.machine = topo::MachineConfig::dash(4);
+  sc.mode = SystemConfig::Mode::kThreads;
+  sc.trace = true;
+  Runtime rt(sc);
+  rt.run(fanout(32));
+  const auto events = rt.trace_events();
+  std::uint64_t completed = 0;
+  for (const auto& e : events) {
+    if (e.kind == obs::EventKind::kTaskSpan) {
+      EXPECT_LE(e.start, e.end);  // Wall-clock µs, monotonic per span.
+      if (obs::span_end(e.flags) == obs::kSpanCompleted) ++completed;
+    }
+  }
+  // 32 children + root complete exactly once each.
+  EXPECT_EQ(completed, 33u);
+  // The legacy span view and the ASCII report still work under kThreads.
+  const auto& tr = rt.trace();
+  EXPECT_GE(tr.size(), 33u);
+  const std::string report = render_trace_report(tr, 4, 0, 32);
   EXPECT_NE(report.find("p0"), std::string::npos);
 }
 

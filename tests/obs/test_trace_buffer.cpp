@@ -1,0 +1,144 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace cool::obs {
+namespace {
+
+Event span(std::uint64_t start, std::uint64_t end, topo::ProcId proc,
+           std::uint64_t seq = 0, std::uint8_t flags = 0) {
+  return Event{start, end, seq, 0, proc, EventKind::kTaskSpan, flags};
+}
+
+TEST(TraceBuffer, EmptyBuffer) {
+  TraceBuffer b(8);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.capacity(), 8u);
+  EXPECT_EQ(b.dropped(), 0u);
+  b.for_each([](const Event&) { FAIL() << "empty buffer yielded an event"; });
+}
+
+TEST(TraceBuffer, FillsWithoutDropping) {
+  TraceBuffer b(4);
+  for (std::uint64_t i = 0; i < 4; ++i) b.record(span(i, i + 1, 0, i));
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(b.dropped(), 0u);
+  std::uint64_t expect = 0;
+  b.for_each([&](const Event& e) { EXPECT_EQ(e.start, expect++); });
+  EXPECT_EQ(expect, 4u);
+}
+
+TEST(TraceBuffer, WrapDropsOldestAndCounts) {
+  constexpr std::size_t kCap = 16;
+  TraceBuffer b(kCap);
+  for (std::uint64_t i = 0; i < 3 * kCap; ++i) b.record(span(i, i + 1, 0, i));
+  EXPECT_EQ(b.size(), kCap);
+  EXPECT_EQ(b.dropped(), 2 * kCap);
+  // Retained events are the newest kCap, visited oldest to newest.
+  std::uint64_t expect = 2 * kCap;
+  b.for_each([&](const Event& e) { EXPECT_EQ(e.start, expect++); });
+  EXPECT_EQ(expect, 3 * kCap);
+}
+
+TEST(TraceBuffer, ClearResets) {
+  TraceBuffer b(4);
+  for (std::uint64_t i = 0; i < 10; ++i) b.record(span(i, i, 0));
+  b.clear();
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.dropped(), 0u);
+  b.record(span(99, 100, 0));
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(SpanFlags, RoundTrip) {
+  const std::uint8_t f = span_flags(true, kSpanBlocked);
+  EXPECT_EQ(f & kSpanStolen, kSpanStolen);
+  EXPECT_EQ(span_end(f), kSpanBlocked);
+  EXPECT_EQ(span_end(span_flags(false, kSpanCompleted)), kSpanCompleted);
+  EXPECT_EQ(span_end(span_flags(false, kSpanYielded)), kSpanYielded);
+  EXPECT_EQ(span_flags(false, kSpanYielded) & kSpanStolen, 0);
+}
+
+TEST(TraceCollector, MergedSortsByStartThenProc) {
+  TraceCollector c(3, 8);
+  // Deliberately interleaved starts across processors, including a tie.
+  c.buf(1).record(span(10, 12, 1));
+  c.buf(0).record(span(5, 7, 0));
+  c.buf(2).record(span(10, 11, 2));
+  c.buf(0).record(span(20, 25, 0));
+  c.buf(1).record(Event{15, 15, 0, 1, 1, EventKind::kSteal, 0});
+
+  const std::vector<Event> m = c.merged();
+  ASSERT_EQ(m.size(), 5u);
+  EXPECT_EQ(m[0].start, 5u);
+  EXPECT_EQ(m[1].start, 10u);
+  EXPECT_EQ(m[1].proc, 1u);  // Tie on start=10 broken by proc.
+  EXPECT_EQ(m[2].start, 10u);
+  EXPECT_EQ(m[2].proc, 2u);
+  EXPECT_EQ(m[3].kind, EventKind::kSteal);
+  EXPECT_EQ(m[4].start, 20u);
+}
+
+TEST(TraceCollector, TotalsAggregateAcrossBuffers) {
+  TraceCollector c(2, 4);
+  for (std::uint64_t i = 0; i < 10; ++i) c.buf(0).record(span(i, i, 0));
+  c.buf(1).record(span(0, 1, 1));
+  EXPECT_EQ(c.total_size(), 5u);     // 4 retained on proc 0 + 1 on proc 1.
+  EXPECT_EQ(c.total_dropped(), 6u);  // 10 - 4 on proc 0.
+  c.clear();
+  EXPECT_EQ(c.total_size(), 0u);
+  EXPECT_EQ(c.total_dropped(), 0u);
+}
+
+TEST(ChromeTrace, EmitsParsableTraceEvents) {
+  std::vector<Event> events;
+  events.push_back(span(0, 10, 0, 7, span_flags(true, kSpanCompleted)));
+  events.push_back(Event{4, 4, 2, 1, 1, EventKind::kSteal, 0});
+  events.push_back(Event{6, 9, 1, 4096, 0, EventKind::kMigration, 0});
+  events.push_back(Event{12, 20, 0, 0, 1, EventKind::kIdleGap, 0});
+
+  const std::string text = chrome_trace_json(events);
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(text, v, &err)) << err << "\n" << text;
+  const json::Value* arr = v.find("traceEvents");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_TRUE(arr->is_array());
+  ASSERT_EQ(arr->arr.size(), events.size());
+
+  // Spans/idle/migration are duration ("X") events with ts+dur; steals are
+  // instants ("i").
+  int durations = 0;
+  int instants = 0;
+  for (const json::Value& e : arr->arr) {
+    const json::Value* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->str == "X") {
+      ++durations;
+      EXPECT_NE(e.find("dur"), nullptr);
+    } else if (ph->str == "i") {
+      ++instants;
+    }
+    EXPECT_NE(e.find("ts"), nullptr);
+    EXPECT_NE(e.find("name"), nullptr);
+  }
+  EXPECT_EQ(durations, 3);
+  EXPECT_EQ(instants, 1);
+}
+
+TEST(ChromeTrace, EmptyInputIsStillValidJson) {
+  const std::string text = chrome_trace_json({});
+  json::Value v;
+  std::string err;
+  ASSERT_TRUE(json::parse(text, v, &err)) << err;
+  ASSERT_TRUE(v.find("traceEvents")->is_array());
+  EXPECT_TRUE(v.find("traceEvents")->arr.empty());
+}
+
+}  // namespace
+}  // namespace cool::obs
