@@ -17,7 +17,9 @@
 #include "common/options.hpp"
 #include "common/table.hpp"
 #include "core/cool.hpp"
+#include "obs/advisor.hpp"
 #include "obs/bench_json.hpp"
+#include "obs/profiler.hpp"
 
 namespace cool::bench {
 
@@ -26,6 +28,18 @@ inline Runtime make_runtime(std::uint32_t procs, const sched::Policy& policy) {
   SystemConfig sc;
   sc.machine = topo::MachineConfig::dash(procs);
   sc.policy = policy;
+  return Runtime(sc);
+}
+
+/// As above, honouring the bench's --profile request. Benches build their
+/// headline (largest-P, most-interesting-variant) runtime through this so
+/// `--profile` works on every figure for free.
+inline Runtime make_runtime(std::uint32_t procs, const sched::Policy& policy,
+                            const util::Options& opt) {
+  SystemConfig sc;
+  sc.machine = topo::MachineConfig::dash(procs);
+  sc.policy = policy;
+  sc.profile = opt.given("profile");
   return Runtime(sc);
 }
 
@@ -40,6 +54,11 @@ inline util::Options standard_options(const std::string& name,
   opt.add_string("json-out", "",
                  "write the JSON record to this file or directory "
                  "(default: stdout; implies --json)");
+  opt.add_optional_string(
+      "profile",
+      "attach the locality profiler to the headline run; text mode appends "
+      "the per-object/per-set report, json mode embeds a 'profile' block. "
+      "--profile=<path> additionally writes the profile JSON there");
   return opt;
 }
 
@@ -120,6 +139,48 @@ class Report {
   }
   void set_obs(const cool::obs::Snapshot& snap) {
     if (json_) rec_.set_obs(snap);
+  }
+
+  /// Attach the locality profile of `rt`'s finished run: in text mode the
+  /// per-object/per-set report plus the advisor's findings are printed after
+  /// the bench output; in json mode they become the record's "profile" block.
+  /// With --profile=<path>, the profile JSON is additionally written there.
+  /// No-op unless the runtime was built with profiling on — so benches call
+  /// this unconditionally on their headline runtime and `--profile` stays
+  /// strictly opt-in (output is untouched without it).
+  void profile_from(Runtime& rt) {
+    if (rt.profiler() == nullptr) return;
+    const cool::obs::ProfileSnapshot p = rt.profile_snapshot();
+    const std::vector<cool::obs::Advice> advice =
+        cool::obs::advise(p, rt.obs_snapshot());
+    if (json_) {
+      rec_.set_profile(p.to_json(), cool::obs::advice_json(advice));
+    } else {
+      std::fputc('\n', stdout);
+      const std::string rep = cool::obs::profile_report(p);
+      std::fwrite(rep.data(), 1, rep.size(), stdout);
+      std::fputc('\n', stdout);
+      const std::string adv = cool::obs::advice_report(advice);
+      std::fwrite(adv.data(), 1, adv.size(), stdout);
+    }
+    const std::string& path = opt_->get_string("profile");
+    if (!path.empty()) {
+      cool::obs::json::Writer w;
+      w.begin_object();
+      w.key("snapshot").raw(p.to_json());
+      w.key("advice").raw(cool::obs::advice_json(advice));
+      w.end_object();
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "%s: failed to write profile to %s\n",
+                     rec_.name().c_str(), path.c_str());
+      } else {
+        const std::string& text = w.str();
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+      }
+    }
   }
 
   /// Escape hatch for benches with extra record content.

@@ -14,10 +14,16 @@ using namespace cool::apps::gauss;
 
 namespace {
 
-Result run_one(std::uint32_t procs, Variant v, Config cfg) {
+Result run_one(std::uint32_t procs, Variant v, Config cfg,
+               bench::Report* prof = nullptr,
+               const util::Options* opt = nullptr) {
   cfg.variant = v;
-  Runtime rt = bench::make_runtime(procs, policy_for(v));
-  return run(rt, cfg);
+  Runtime rt = prof != nullptr && opt != nullptr
+                   ? bench::make_runtime(procs, policy_for(v), *opt)
+                   : bench::make_runtime(procs, policy_for(v));
+  Result r = run(rt, cfg);
+  if (prof != nullptr) prof->profile_from(rt);
+  return r;
 }
 
 }  // namespace
@@ -45,7 +51,8 @@ int main(int argc, char** argv) {
   for (std::uint32_t p : apps::proc_series(max_procs)) {
     const auto base = run_one(p, Variant::kBase, cfg);
     const auto obj = run_one(p, Variant::kObjectOnly, cfg);
-    const auto both = run_one(p, Variant::kTaskObject, cfg);
+    const auto both = run_one(p, Variant::kTaskObject, cfg,
+                              p == max_procs ? &rep : nullptr, &opt);
     t.row()
         .cell(static_cast<std::uint64_t>(p))
         .cell(apps::speedup(serial, base.run.sim_cycles), 2)

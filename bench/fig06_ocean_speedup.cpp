@@ -14,11 +14,17 @@ using namespace cool::apps::ocean;
 
 namespace {
 
-Result run_one(std::uint32_t procs, Variant v, const Config& base_cfg) {
+Result run_one(std::uint32_t procs, Variant v, const Config& base_cfg,
+               bench::Report* prof = nullptr,
+               const util::Options* opt = nullptr) {
   Config cfg = base_cfg;
   cfg.variant = v;
-  Runtime rt = bench::make_runtime(procs, policy_for(v));
-  return run(rt, cfg);
+  Runtime rt = prof != nullptr && opt != nullptr
+                   ? bench::make_runtime(procs, policy_for(v), *opt)
+                   : bench::make_runtime(procs, policy_for(v));
+  Result r = run(rt, cfg);
+  if (prof != nullptr) prof->profile_from(rt);
+  return r;
 }
 
 }  // namespace
@@ -54,7 +60,8 @@ int main(int argc, char** argv) {
   for (std::uint32_t p : apps::proc_series(max_procs)) {
     const auto base = run_one(p, Variant::kBase, cfg);
     const auto distr = run_one(p, Variant::kDistrNoAff, cfg);
-    const auto aff = run_one(p, Variant::kDistr, cfg);
+    const auto aff =
+        run_one(p, Variant::kDistr, cfg, p == max_procs ? &rep : nullptr, &opt);
     t.row()
         .cell(static_cast<std::uint64_t>(p))
         .cell(apps::speedup(serial, base.run.sim_cycles), 2)

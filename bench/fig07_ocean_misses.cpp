@@ -33,11 +33,16 @@ int main(int argc, char** argv) {
   for (Variant v : {Variant::kBase, Variant::kDistrNoAff, Variant::kDistr}) {
     Config c = cfg;
     c.variant = v;
-    Runtime rt = bench::make_runtime(procs, policy_for(v));
+    Runtime rt = v == Variant::kDistr
+                     ? bench::make_runtime(procs, policy_for(v), opt)
+                     : bench::make_runtime(procs, policy_for(v));
     const Result r = run(rt, c);
     bench::miss_row(t, variant_name(v), r.run);
     if (v == Variant::kBase) base_r = r.run;
-    if (v == Variant::kDistr) cool_r = r.run;
+    if (v == Variant::kDistr) {
+      cool_r = r.run;
+      rep.profile_from(rt);
+    }
   }
   rep.table(t);
   if (rep.text()) {

@@ -33,12 +33,17 @@ int main(int argc, char** argv) {
        {Variant::kBase, Variant::kAffinity, Variant::kAffinityDistr}) {
     Config c = cfg;
     c.variant = v;
-    Runtime rt = bench::make_runtime(procs, policy_for(v));
+    Runtime rt = v == Variant::kAffinityDistr
+                     ? bench::make_runtime(procs, policy_for(v), opt)
+                     : bench::make_runtime(procs, policy_for(v));
     const Result r = run(rt, c);
     bench::miss_row(t, variant_name(v), r.run);
     if (v == Variant::kBase) base_r = r.run;
     if (v == Variant::kAffinity) aff_r = r.run;
-    if (v == Variant::kAffinityDistr) distr_r = r.run;
+    if (v == Variant::kAffinityDistr) {
+      distr_r = r.run;
+      rep.profile_from(rt);
+    }
   }
   rep.table(t);
   const double miss_ratio =

@@ -16,10 +16,16 @@ using namespace cool::apps::cholesky;
 
 namespace {
 
-PanelResult run_one(std::uint32_t procs, PanelVariant v, PanelConfig cfg) {
+PanelResult run_one(std::uint32_t procs, PanelVariant v, PanelConfig cfg,
+                    bench::Report* prof = nullptr,
+                    const util::Options* opt = nullptr) {
   cfg.variant = v;
-  Runtime rt = bench::make_runtime(procs, panel_policy_for(v));
-  return run_panel(rt, cfg);
+  Runtime rt = prof != nullptr && opt != nullptr
+                   ? bench::make_runtime(procs, panel_policy_for(v), *opt)
+                   : bench::make_runtime(procs, panel_policy_for(v));
+  PanelResult r = run_panel(rt, cfg);
+  if (prof != nullptr) prof->profile_from(rt);
+  return r;
 }
 
 }  // namespace
@@ -53,7 +59,8 @@ int main(int argc, char** argv) {
     const auto base = run_one(p, PanelVariant::kBase, cfg);
     const auto distr = run_one(p, PanelVariant::kDistr, cfg);
     const auto aff = run_one(p, PanelVariant::kDistrAff, cfg);
-    const auto clus = run_one(p, PanelVariant::kDistrAffCluster, cfg);
+    const auto clus = run_one(p, PanelVariant::kDistrAffCluster, cfg,
+                              p == max_procs ? &rep : nullptr, &opt);
     t.row()
         .cell(static_cast<std::uint64_t>(p))
         .cell(apps::speedup(serial, base.run.sim_cycles), 2)

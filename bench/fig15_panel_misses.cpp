@@ -35,12 +35,17 @@ int main(int argc, char** argv) {
         PanelVariant::kDistrAffCluster}) {
     PanelConfig c = cfg;
     c.variant = v;
-    Runtime rt = bench::make_runtime(procs, panel_policy_for(v));
+    Runtime rt = v == PanelVariant::kDistrAff
+                     ? bench::make_runtime(procs, panel_policy_for(v), opt)
+                     : bench::make_runtime(procs, panel_policy_for(v));
     const PanelResult r = run_panel(rt, c);
     bench::miss_row(t, panel_variant_name(v), r.run);
     if (v == PanelVariant::kBase) base_r = r.run;
     if (v == PanelVariant::kDistr) distr_r = r.run;
-    if (v == PanelVariant::kDistrAff) aff_r = r.run;
+    if (v == PanelVariant::kDistrAff) {
+      aff_r = r.run;
+      rep.profile_from(rt);
+    }
   }
   rep.table(t);
   const double distr_over_base =

@@ -13,10 +13,16 @@ using namespace cool::apps::barneshut;
 
 namespace {
 
-Result run_one(std::uint32_t procs, Variant v, Config cfg) {
+Result run_one(std::uint32_t procs, Variant v, Config cfg,
+               bench::Report* prof = nullptr,
+               const util::Options* opt = nullptr) {
   cfg.variant = v;
-  Runtime rt = bench::make_runtime(procs, policy_for(v));
-  return run(rt, cfg);
+  Runtime rt = prof != nullptr && opt != nullptr
+                   ? bench::make_runtime(procs, policy_for(v), *opt)
+                   : bench::make_runtime(procs, policy_for(v));
+  Result r = run(rt, cfg);
+  if (prof != nullptr) prof->profile_from(rt);
+  return r;
 }
 
 }  // namespace
@@ -46,7 +52,8 @@ int main(int argc, char** argv) {
   std::uint64_t aff32 = 0;
   for (std::uint32_t p : apps::proc_series(max_procs)) {
     const auto base = run_one(p, Variant::kBase, cfg);
-    const auto aff = run_one(p, Variant::kDistrAff, cfg);
+    const auto aff = run_one(p, Variant::kDistrAff, cfg,
+                             p == max_procs ? &rep : nullptr, &opt);
     t.row()
         .cell(static_cast<std::uint64_t>(p))
         .cell(apps::speedup(serial, base.run.sim_cycles), 2)

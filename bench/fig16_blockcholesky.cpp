@@ -13,10 +13,16 @@ using namespace cool::apps::cholesky;
 
 namespace {
 
-BlockResult run_one(std::uint32_t procs, BlockVariant v, BlockConfig cfg) {
+BlockResult run_one(std::uint32_t procs, BlockVariant v, BlockConfig cfg,
+                    bench::Report* prof = nullptr,
+                    const util::Options* opt = nullptr) {
   cfg.variant = v;
-  Runtime rt = bench::make_runtime(procs, block_policy_for(v));
-  return run_block(rt, cfg);
+  Runtime rt = prof != nullptr && opt != nullptr
+                   ? bench::make_runtime(procs, block_policy_for(v), *opt)
+                   : bench::make_runtime(procs, block_policy_for(v));
+  BlockResult r = run_block(rt, cfg);
+  if (prof != nullptr) prof->profile_from(rt);
+  return r;
 }
 
 }  // namespace
@@ -50,7 +56,8 @@ int main(int argc, char** argv) {
   std::uint64_t aff32 = 0;
   for (std::uint32_t p : apps::proc_series(max_procs)) {
     const auto base = run_one(p, BlockVariant::kBase, cfg);
-    const auto aff = run_one(p, BlockVariant::kDistrAff, cfg);
+    const auto aff = run_one(p, BlockVariant::kDistrAff, cfg,
+                             p == max_procs ? &rep : nullptr, &opt);
     t.row()
         .cell(static_cast<std::uint64_t>(p))
         .cell(apps::speedup(serial, base.run.sim_cycles), 2)

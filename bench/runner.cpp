@@ -11,10 +11,11 @@
 //       Print the fleet with the args each mode would use.
 //   runner --compare OLD NEW [--threshold=PCT]
 //       Diff two record directories: for every bench present in both, report
-//       each shape metric whose relative change exceeds PCT (default 5%),
-//       and note config mismatches that make the comparison apples-to-
-//       oranges. Exits non-zero when any metric regressed past the
-//       threshold.
+//       each shape metric whose relative change exceeds PCT (default 5%)
+//       plus each obs-snapshot counter (steals, failed steal scans,
+//       remote-miss ratio, invalidations) that increased past it, and note
+//       config mismatches that make the comparison apples-to-oranges.
+//       Exits non-zero when any metric regressed past the threshold.
 //
 // The bench binaries are expected next to the runner (the build drops
 // everything into build/bench/), overridable with --bin-dir.
@@ -158,6 +159,29 @@ double rel_pct(double a, double b) {
   return 100.0 * (b - a) / std::fabs(a);
 }
 
+/// Locality/scheduling counters worth diffing across runs, derived from the
+/// record's obs snapshot. Higher is worse for all of them, so --compare only
+/// flags increases. Returns false when the record carries no obs block.
+bool obs_metrics(const Value& rec,
+                 std::vector<std::pair<std::string, double>>& out) {
+  const Value* obs = rec.find("obs");
+  if (obs == nullptr || !obs->is_object()) return false;
+  const Value* values = obs->find("values");
+  if (values == nullptr || !values->is_object()) return false;
+  auto num = [&](const char* k) -> double {
+    const Value* v = values->find(k);
+    return v != nullptr && v->is_number() ? v->num : 0.0;
+  };
+  out.emplace_back("obs:sched.steals", num("sched.steals"));
+  out.emplace_back("obs:sched.failed_steal_scans",
+                   num("sched.failed_steal_scans"));
+  const double misses = num("mem.misses");
+  out.emplace_back("obs:mem.remote_miss_ratio",
+                   misses > 0.0 ? num("mem.remote_misses") / misses : 0.0);
+  out.emplace_back("obs:mem.invals_sent", num("mem.invals_sent"));
+  return true;
+}
+
 int compare_runs(const std::string& old_dir, const std::string& new_dir,
                  double threshold) {
   int compared = 0;
@@ -214,6 +238,23 @@ int compare_runs(const std::string& old_dir, const std::string& new_dir,
         std::printf("%-28s %-32s %12.4g -> %12.4g  (%+.1f%%)\n",
                     bench.c_str(), k.c_str(), va.num, vb->num, d);
         ++over;
+      }
+    }
+    // Scheduler/locality counters from the obs snapshot: a bench can hold
+    // its shape while quietly stealing more or servicing more misses
+    // remotely, so diff these too (increase = regression).
+    std::vector<std::pair<std::string, double>> ma;
+    std::vector<std::pair<std::string, double>> mb;
+    if (obs_metrics(a, ma) && obs_metrics(b, mb)) {
+      for (std::size_t i = 0; i < ma.size(); ++i) {
+        const double d = rel_pct(ma[i].second, mb[i].second);
+        ++compared;
+        if (d > threshold) {
+          std::printf("%-28s %-32s %12.4g -> %12.4g  (%+.1f%%)\n",
+                      bench.c_str(), ma[i].first.c_str(), ma[i].second,
+                      mb[i].second, d);
+          ++over;
+        }
       }
     }
   }

@@ -42,7 +42,9 @@ int main(int argc, char** argv) {
                  Hint::kTaskObject, Hint::kProcessor}) {
     Config c = cfg;
     c.hint = h;
-    Runtime rt = bench::make_runtime(procs, sched::Policy{});
+    Runtime rt = h == Hint::kTaskObject
+                     ? bench::make_runtime(procs, sched::Policy{}, opt)
+                     : bench::make_runtime(procs, sched::Policy{});
     const Result r = run(rt, c);
     const auto& ss = r.run.sched;
     t.row()
@@ -54,7 +56,10 @@ int main(int argc, char** argv) {
                   static_cast<double>(ss.spawned ? ss.spawned : 1),
               1)
         .cell(ss.steals);
-    if (h == Hint::kTaskObject) rep.obs_from(r.run);
+    if (h == Hint::kTaskObject) {
+      rep.obs_from(r.run);
+      rep.profile_from(rt);
+    }
   }
   rep.table(t);
 

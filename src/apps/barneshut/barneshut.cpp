@@ -364,6 +364,11 @@ Result run(Runtime& rt, const Config& cfg) {
     }
   }
 
+  rt.profile_register("bodies", app.body,
+                      static_cast<std::size_t>(cfg.n_bodies) * sizeof(Body));
+  rt.profile_register("tree_nodes", app.node,
+                      static_cast<std::size_t>(app.node_cap) * sizeof(Node));
+
   double max_err = 0.0;
   rt.run(root_task(&app, &max_err));
 

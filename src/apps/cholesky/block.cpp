@@ -1,6 +1,7 @@
 #include "apps/cholesky/block.hpp"
 
 #include <cmath>
+#include <cstdio>
 
 #include "common/rng.hpp"
 
@@ -234,6 +235,10 @@ BlockResult run_block(Runtime& rt, const BlockConfig& cfg) {
         }
       }
       app.blk[app.id(i, j)] = d;
+      char name[28];
+      std::snprintf(name, sizeof name, "blk[%d,%d]", i, j);
+      rt.profile_register(name, d, static_cast<std::size_t>(s) * s *
+                                       sizeof(double));
     }
   }
 

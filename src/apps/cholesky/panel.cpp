@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <deque>
 
 #include "common/rng.hpp"
@@ -233,6 +234,16 @@ PanelResult run_panel(Runtime& rt, const PanelConfig& cfg) {
                     app.st.len[static_cast<std::size_t>(p)], p);
   }
   for (int p = 0; p < cfg.n_panels; ++p) app.mu.emplace_back();
+
+  {
+    char name[28];
+    for (int p = 0; p < cfg.n_panels; ++p) {
+      std::snprintf(name, sizeof name, "panel[%d]", p);
+      rt.profile_register(
+          name, app.panel[static_cast<std::size_t>(p)],
+          app.st.len[static_cast<std::size_t>(p)] * sizeof(double));
+    }
+  }
 
   rt.run(root_task(&app));
 

@@ -1,6 +1,7 @@
 #include "apps/gauss/gauss.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <deque>
 
 #include "common/rng.hpp"
@@ -165,6 +166,15 @@ Result run(Runtime& rt, const Config& cfg) {
     app.pending[static_cast<std::size_t>(j)] = j;
   }
   for (int j = 0; j < n; ++j) app.mu.emplace_back();
+
+  {
+    char name[24];
+    for (int j = 0; j < n; ++j) {
+      std::snprintf(name, sizeof name, "col[%d]", j);
+      rt.profile_register(name, app.col[static_cast<std::size_t>(j)],
+                          static_cast<std::size_t>(n) * sizeof(double));
+    }
+  }
 
   rt.run(root_task(&app));
 

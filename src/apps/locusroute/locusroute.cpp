@@ -1,6 +1,7 @@
 #include "apps/locusroute/locusroute.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <new>
 
 #include "common/rng.hpp"
@@ -311,6 +312,19 @@ Result run(Runtime& rt, const Config& cfg) {
         order_rng.next_below(static_cast<std::uint64_t>(i) + 1));
     std::swap(app.spawn_order[static_cast<std::size_t>(i)],
               app.spawn_order[static_cast<std::size_t>(j)]);
+  }
+
+  {
+    char name[32];
+    for (int r = 0; r < app.nregions; ++r) {
+      std::snprintf(name, sizeof name, "cost_region[%d]", r);
+      rt.profile_register(
+          name, app.regions[static_cast<std::size_t>(r)].cells,
+          static_cast<std::size_t>(cfg.height) * cfg.region_w *
+              sizeof(CostCell));
+    }
+    rt.profile_register("wires", app.wires,
+                        static_cast<std::size_t>(app.n_wires) * sizeof(Wire));
   }
 
   rt.run(root_task(&app));

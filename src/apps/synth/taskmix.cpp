@@ -1,5 +1,7 @@
 #include "apps/synth/taskmix.hpp"
 
+#include <cstdio>
+
 namespace cool::apps::taskmix {
 
 const char* hint_name(Hint h) {
@@ -93,6 +95,10 @@ Result run(Runtime& rt, const Config& cfg) {
     for (std::size_t i = 0; i < app.obj_doubles; ++i) {
       app.obj.back()[i] = static_cast<double>((o + 1) * 3 + i % 17);
     }
+    char name[24];
+    std::snprintf(name, sizeof name, "obj[%d]", o);
+    rt.profile_register(name, app.obj.back(),
+                        app.obj_doubles * sizeof(double));
   }
 
   rt.run(root_task(&app));

@@ -49,10 +49,22 @@ void Options::add_string(const std::string& name,
   specs_.emplace(name, std::move(s));
 }
 
+void Options::add_optional_string(const std::string& name,
+                                  const std::string& help) {
+  Spec s;
+  s.kind = Kind::kOptString;
+  s.help = help;
+  s.default_text = "unset";
+  specs_.emplace(name, std::move(s));
+}
+
 Options::Spec& Options::lookup(const std::string& name, Kind kind) {
   auto it = specs_.find(name);
   COOL_CHECK(it != specs_.end(), "unknown option --" + name);
-  COOL_CHECK(it->second.kind == kind, "option --" + name + " has another type");
+  // get_string serves both string kinds.
+  const bool ok = it->second.kind == kind ||
+                  (kind == Kind::kString && it->second.kind == Kind::kOptString);
+  COOL_CHECK(ok, "option --" + name + " has another type");
   return it->second;
 }
 
@@ -83,6 +95,7 @@ void Options::assign(const std::string& name, const std::string& value) {
                  "option --" + name + " expects a number, got '" + value + "'");
       break;
     case Kind::kString:
+    case Kind::kOptString:
       s.string_value = value;
       break;
   }
@@ -107,6 +120,8 @@ bool Options::parse(int argc, char** argv) {
     COOL_CHECK(it != specs_.end(), "unknown option --" + arg);
     if (it->second.kind == Kind::kFlag) {
       assign(arg, "true");
+    } else if (it->second.kind == Kind::kOptString) {
+      assign(arg, "");  // bare form: given, value empty; next argv untouched
     } else {
       COOL_CHECK(i + 1 < argc, "option --" + arg + " needs a value");
       assign(arg, argv[++i]);
@@ -129,6 +144,12 @@ double Options::get_double(const std::string& name) const {
 
 const std::string& Options::get_string(const std::string& name) const {
   return lookup(name, Kind::kString).string_value;
+}
+
+bool Options::given(const std::string& name) const {
+  auto it = specs_.find(name);
+  COOL_CHECK(it != specs_.end(), "unknown option --" + name);
+  return it->second.set;
 }
 
 std::vector<Options::NamedValue> Options::snapshot_values() const {
@@ -154,6 +175,7 @@ std::vector<Options::NamedValue> Options::snapshot_values() const {
         break;
       }
       case Kind::kString:
+      case Kind::kOptString:
         v.kind = 's';
         v.value = spec.string_value;
         break;
@@ -167,7 +189,11 @@ std::string Options::usage() const {
   std::string out = program_ + " — " + description_ + "\n\noptions:\n";
   for (const auto& [name, spec] : specs_) {
     out += "  --" + name;
-    if (spec.kind != Kind::kFlag) out += "=<value>";
+    if (spec.kind == Kind::kOptString) {
+      out += "[=<value>]";
+    } else if (spec.kind != Kind::kFlag) {
+      out += "=<value>";
+    }
     out += "\n      " + spec.help + " (default: " + spec.default_text + ")\n";
   }
   return out;

@@ -25,6 +25,11 @@ class Options {
                   const std::string& help);
   void add_string(const std::string& name, const std::string& default_value,
                   const std::string& help);
+  /// A string option that may also be given bare: `--name` keeps the value
+  /// empty (but marks the option as given — see given()), `--name=v` sets v.
+  /// Unlike other non-flag options, a bare `--name` never consumes the next
+  /// argv element.
+  void add_optional_string(const std::string& name, const std::string& help);
 
   /// Parses argv. Returns false (after printing usage) if --help was given.
   /// Throws cool::util::Error on unknown options or malformed values.
@@ -34,6 +39,8 @@ class Options {
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;
   [[nodiscard]] double get_double(const std::string& name) const;
   [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  /// Whether the option appeared on the command line at all (any kind).
+  [[nodiscard]] bool given(const std::string& name) const;
 
   [[nodiscard]] std::string usage() const;
 
@@ -52,7 +59,7 @@ class Options {
   [[nodiscard]] std::vector<NamedValue> snapshot_values() const;
 
  private:
-  enum class Kind { kFlag, kInt, kDouble, kString };
+  enum class Kind { kFlag, kInt, kDouble, kString, kOptString };
   struct Spec {
     Kind kind;
     std::string help;

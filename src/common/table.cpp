@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdint>
 
 #include "common/error.hpp"
@@ -45,6 +46,20 @@ Table& Table::cell(std::int64_t value) {
 }
 
 Table& Table::cell(int value) { return cell(static_cast<std::int64_t>(value)); }
+
+Table& Table::cell_pct(double fraction, int precision) {
+  if (!std::isfinite(fraction)) return cell("-");
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, 100.0 * fraction);
+  return cell(std::string(buf));
+}
+
+Table& Table::cell_ratio(double value, int precision) {
+  if (!std::isfinite(value)) return cell("-");
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*fx", precision, value);
+  return cell(std::string(buf));
+}
 
 std::string Table::to_string() const {
   std::vector<std::size_t> widths(headers_.size());

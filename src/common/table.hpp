@@ -22,6 +22,12 @@ class Table {
   Table& cell(std::int64_t value);
   Table& cell(int value);
 
+  /// Format a fraction in [0,1] as a percentage ("12.3%"). Values outside
+  /// [0,1] still render (e.g. "104.0%"); non-finite values render as "-".
+  Table& cell_pct(double fraction, int precision = 1);
+  /// Format a multiplier as a ratio ("1.97x"); non-finite values render "-".
+  Table& cell_ratio(double value, int precision = 2);
+
   /// Render to stdout (or any FILE*).
   void print(std::FILE* out = stdout) const;
 

@@ -25,6 +25,14 @@ Runtime::Runtime(SystemConfig cfg) : cfg_(cfg) {
     thr_->attach_obs(*obs_);
     eng_ = thr_.get();
   }
+  if (cfg_.profile) {
+    prof_ = std::make_unique<obs::LocalityProfiler>(cfg_.machine);
+    if (sim_) {
+      sim_->attach_profiler(prof_.get());
+    } else {
+      thr_->attach_profiler(prof_.get());
+    }
+  }
   // Reserve the allocation arena (lazily backed; pages materialise on touch).
   void* mem = ::mmap(nullptr, cfg_.arena_bytes, PROT_READ | PROT_WRITE,
                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
@@ -84,6 +92,24 @@ topo::ProcId Runtime::home(const void* p) {
   return eng_->home(reinterpret_cast<std::uint64_t>(p), 0);
 }
 
+bool Runtime::profile_register(const std::string& name, const void* p,
+                               std::size_t bytes) {
+  if (!prof_ || p == nullptr || bytes == 0) return false;
+  const std::uint64_t addr =
+      reinterpret_cast<std::uint64_t>(p) - reinterpret_cast<std::uint64_t>(arena_);
+  // Home for display only, and only if already bound — home_of() would
+  // first-touch-bind the page, which must not happen from a passive observer.
+  topo::ProcId home_proc = 0;
+  if (sim_ && sim_->memsys().pages().is_bound(addr)) {
+    home_proc = sim_->memsys().pages().home_of_bound(addr);
+  }
+  return prof_->register_object(name, addr, bytes, home_proc);
+}
+
+obs::ProfileSnapshot Runtime::profile_snapshot() const {
+  return prof_ ? prof_->snapshot() : obs::ProfileSnapshot{};
+}
+
 std::uint64_t Runtime::sim_time() const {
   return sim_ ? sim_->finish_time() : 0;
 }
@@ -115,6 +141,10 @@ std::vector<obs::Event> Runtime::trace_events() const {
 }
 
 std::string Runtime::chrome_trace() const {
+  if (prof_) {
+    const obs::ProfileSnapshot p = prof_->snapshot();
+    return obs::chrome_trace_json(trace_events(), &p);
+  }
   return obs::chrome_trace_json(trace_events());
 }
 

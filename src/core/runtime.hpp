@@ -37,6 +37,11 @@ struct SystemConfig {
   /// Capacity of each per-processor trace ring; on overflow the oldest
   /// events are dropped (and counted — see obs.trace.dropped).
   std::size_t trace_ring_capacity = 1 << 16;
+  /// Attach the locality profiler: attribute every simulated memory access to
+  /// the object/region and affinity set it hits (see obs/profiler.hpp). The
+  /// tap is passive — simulated cycle counts are identical with it on — and
+  /// when off no profiler is even constructed.
+  bool profile = false;
   /// Size of the runtime's allocation arena (virtual memory, touched lazily).
   /// Allocations are bump-allocated from it so simulated addresses are
   /// arena-relative and every run is bit-reproducible.
@@ -112,6 +117,18 @@ class Runtime {
   /// the whole observable state of a run.
   [[nodiscard]] obs::Snapshot obs_snapshot() const;
 
+  // --- locality profiler (SystemConfig::profile) ---------------------------
+  /// The attached profiler, or null when profiling is off.
+  [[nodiscard]] obs::LocalityProfiler* profiler() noexcept {
+    return prof_.get();
+  }
+  /// Name the region [p, p+bytes) in profile reports. No-op (returns false)
+  /// when profiling is off or the range overlaps an earlier registration.
+  bool profile_register(const std::string& name, const void* p,
+                        std::size_t bytes);
+  /// Merged attribution snapshot (empty snapshot when profiling is off).
+  [[nodiscard]] obs::ProfileSnapshot profile_snapshot() const;
+
   /// Human-readable post-run summary: completion time, task counts,
   /// scheduler activity, memory-system behaviour, and load balance.
   [[nodiscard]] std::string report() const;
@@ -130,6 +147,7 @@ class Runtime {
                                         ///< handles they hold point into it.
   std::unique_ptr<SimEngine> sim_;
   std::unique_ptr<ThreadEngine> thr_;
+  std::unique_ptr<obs::LocalityProfiler> prof_;  ///< Null unless profiling.
   Engine* eng_ = nullptr;
   char* arena_ = nullptr;       ///< mmap'd allocation arena.
   std::size_t arena_used_ = 0;  ///< Bump pointer (page multiples).

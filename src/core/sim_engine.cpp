@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/profile_hook.hpp"
 #include "core/sync.hpp"
 
 namespace cool {
@@ -27,6 +28,11 @@ SimEngine::SimEngine(const topo::MachineConfig& machine,
 void SimEngine::attach_obs(obs::Registry& reg) {
   obs_parks_ = reg.counter("engine.parks");
   sched_.attach_obs(reg);
+}
+
+void SimEngine::attach_profiler(obs::LocalityProfiler* prof) {
+  prof_ = prof;
+  mem_.set_observer(prof);
 }
 
 SimEngine::~SimEngine() {
@@ -179,6 +185,12 @@ void SimEngine::step(topo::ProcId p) {
                                          p, obs::EventKind::kIdleGap, 0});
       }
       pr.clock = rec->desc.ready_time;
+    }
+    if (prof_ != nullptr) {
+      const std::uint64_t key = affinity_set_key(rec->desc.aff);
+      prof_->on_task_dispatch(
+          p, hint_class_of(rec->desc.aff),
+          key != 0 ? tr(key) : obs::LocalityProfiler::kNoSet, acq.stolen);
     }
     pr.current = rec;
   }

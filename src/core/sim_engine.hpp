@@ -23,6 +23,7 @@
 #include "core/taskfn.hpp"
 #include "memsim/memsystem.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "topology/machine.hpp"
@@ -70,6 +71,10 @@ class SimEngine final : public Engine {
   }
   /// Register engine+scheduler live metrics with `reg` (see Scheduler).
   void attach_obs(obs::Registry& reg);
+  /// Attach (or with nullptr, detach) the locality profiler: taps every
+  /// simulated memory access and is told the running task's hint class at
+  /// each dispatch. Purely passive — simulated cycle counts are unchanged.
+  void attach_profiler(obs::LocalityProfiler* prof);
 
   // --- Engine interface ----------------------------------------------------
   void mem_access(Ctx& c, std::uint64_t addr, std::uint64_t bytes,
@@ -133,6 +138,7 @@ class SimEngine final : public Engine {
   std::uint64_t addr_base_ = 0;
   std::unique_ptr<obs::TraceCollector> trace_;  ///< Null when tracing is off.
   obs::Counter obs_parks_;  ///< Idle transitions (detached until attach_obs).
+  obs::LocalityProfiler* prof_ = nullptr;  ///< Null unless profiling.
 };
 
 }  // namespace cool

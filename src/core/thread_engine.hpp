@@ -37,6 +37,7 @@
 #include "core/taskfn.hpp"
 #include "memsim/pagemap.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "topology/machine.hpp"
@@ -67,6 +68,10 @@ class ThreadEngine final : public Engine {
   }
   /// Register engine+scheduler live metrics with `reg` (see Scheduler).
   void attach_obs(obs::Registry& reg) { sched_.attach_obs(reg); }
+  /// Attach the locality profiler. With no memory model there is nothing to
+  /// tap, but the dispatch hook still attributes tasks to hint classes and
+  /// affinity sets (each worker writes only its own shard).
+  void attach_profiler(obs::LocalityProfiler* prof) { prof_ = prof; }
 
   // --- Engine interface ----------------------------------------------------
   void mem_access(Ctx&, std::uint64_t, std::uint64_t, bool) override {}
@@ -91,6 +96,7 @@ class ThreadEngine final : public Engine {
   void on_yield(Ctx& c) override;
   void bind_range(std::uint64_t addr, std::uint64_t bytes,
                   topo::ProcId home_proc) override;
+  void set_addr_base(std::uint64_t base) override { addr_base_ = base; }
 
  private:
   enum class Disposition : std::uint8_t { kNone, kCompleted, kBlocked, kYielded };
@@ -118,6 +124,8 @@ class ThreadEngine final : public Engine {
 
   std::unique_ptr<obs::TraceCollector> trace_;  ///< Null when tracing is off.
   std::chrono::steady_clock::time_point trace_t0_;
+  obs::LocalityProfiler* prof_ = nullptr;  ///< Null unless profiling.
+  std::uint64_t addr_base_ = 0;
 
   /// Microseconds since engine construction (the trace timebase).
   [[nodiscard]] std::uint64_t now_us() const {

@@ -117,6 +117,7 @@ std::uint64_t MemorySystem::access_line(topo::ProcId proc, LineAddr line,
         c.upgrades += 1;
         lat += inv.any_remote ? machine_.lat.inval_remote
                               : machine_.lat.inval_local;
+        if (observer_ != nullptr) observer_->on_inval(addr, proc, inv.killed);
       }
       dir_.set_dirty(line, proc);
     }
@@ -127,6 +128,13 @@ std::uint64_t MemorySystem::access_line(topo::ProcId proc, LineAddr line,
 
   c.serviced[static_cast<int>(service)] += 1;
   c.latency_cycles += lat;
+  if (observer_ != nullptr) {
+    // The line is cached here by now, so its page is necessarily bound and
+    // this lookup cannot first-touch (the tap never perturbs the page map).
+    observer_->on_access(AccessInfo{proc, addr, service, is_write,
+                                    static_cast<std::uint32_t>(lat),
+                                    pages_.home_of(addr, proc)});
+  }
   return lat;
 }
 

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "memsim/access_observer.hpp"
 #include "memsim/cache.hpp"
 #include "memsim/directory.hpp"
 #include "memsim/pagemap.hpp"
@@ -71,6 +72,11 @@ class MemorySystem {
   /// benches use it to separate warm-up from measurement.
   void flush_all_caches();
 
+  /// Attach (or with nullptr, detach) a passive per-access tap. The observer
+  /// is invoked after each line's simulated state is final, so it can never
+  /// perturb timing; it must outlive the accesses it observes.
+  void set_observer(AccessObserver* obs) noexcept { observer_ = obs; }
+
  private:
   std::uint64_t access_line(topo::ProcId proc, LineAddr line,
                             std::uint64_t addr, bool is_write,
@@ -106,6 +112,7 @@ class MemorySystem {
     std::uint64_t backlog = 0;  ///< Cycles of queued service.
   };
   std::vector<Controller> controllers_;  ///< Per cluster.
+  AccessObserver* observer_ = nullptr;   ///< Passive tap; null when detached.
 };
 
 }  // namespace cool::mem

@@ -1,0 +1,72 @@
+// Locality advisor — turns a ProfileSnapshot plus the runtime's metric
+// snapshot into ranked, actionable tuning advice.
+//
+// This mechanises the paper's tuning loop (§6–§7): the authors looked at the
+// DASH performance monitor, spotted the object with the most remote misses or
+// the task set that lost reuse, and added the matching COOL affinity hint.
+// Each rule below is one of those diagnoses:
+//   * an object homed away from the cluster that uses it  -> migrate / OBJECT
+//     affinity,
+//   * an object used uniformly from everywhere but homed in one place ->
+//     distribute it across cluster memories,
+//   * tasks sharing an affinity object but scattered across processors ->
+//     add TASK affinity so they run back-to-back,
+//   * a task-affinity set split anyway (stolen piecemeal) -> steal whole sets,
+//   * many failed steal scans -> the queues are starved, not imbalanced,
+//   * high idle fraction -> genuine load imbalance.
+// The advisor only reads snapshots; it never touches the live runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+
+namespace cool::obs {
+
+enum class AdviceKind : std::uint8_t {
+  kMigrateObject,    ///< Re-home the object near its dominant user.
+  kDistributeObject, ///< Spread the object across cluster memories.
+  kTaskAffinity,     ///< Add TASK affinity to the tasks sharing an object.
+  kWholeSetStealing, ///< Enable Policy::steal_whole_sets.
+  kStealStorm,       ///< Steal scans mostly fail: work starvation.
+  kIdleImbalance,    ///< Processors idle a large fraction of the span.
+};
+const char* advice_kind_name(AdviceKind k);
+
+struct Advice {
+  AdviceKind kind = AdviceKind::kMigrateObject;
+  std::string subject;     ///< Object name or set label the advice is about.
+  std::string diagnosis;   ///< What the profile shows.
+  std::string suggestion;  ///< The COOL hint / policy change to try.
+  std::uint64_t weight = 0;  ///< Ranking key (stall cycles at stake).
+};
+
+/// Rule thresholds. The defaults suit the paper-scale benches; tests pin
+/// them explicitly where a rule boundary matters.
+struct AdvisorConfig {
+  std::uint64_t min_misses = 64;    ///< Ignore objects with fewer misses.
+  double dominant_frac = 0.60;      ///< Cluster share that counts as dominant.
+  double remote_frac = 0.40;        ///< Remote-miss share worth acting on.
+  std::uint64_t min_set_tasks = 4;  ///< Ignore smaller affinity sets.
+  double steal_fail_ratio = 4.0;    ///< Failed scans per successful steal.
+  std::uint64_t min_failed_scans = 256;
+  double idle_frac = 0.25;          ///< Idle share of the span worth flagging.
+};
+
+/// Run every rule over the profile and the runtime metric snapshot
+/// (Runtime::obs_snapshot() names: sched.*, proc.*). Returns advice sorted by
+/// descending weight (ties broken by subject) — deterministic for a
+/// deterministic simulation.
+std::vector<Advice> advise(const ProfileSnapshot& p, const Snapshot& metrics,
+                           const AdvisorConfig& cfg = {});
+
+/// Human-readable rendering, one numbered block per advice.
+std::string advice_report(const std::vector<Advice>& advice);
+
+/// Deterministic JSON array of advice objects.
+std::string advice_json(const std::vector<Advice>& advice);
+
+}  // namespace cool::obs

@@ -62,6 +62,12 @@ void BenchRecord::add_shape(const std::string& key, double value) {
 
 void BenchRecord::set_obs(const Snapshot& snap) { obs_json_ = snap.to_json(); }
 
+void BenchRecord::set_profile(std::string snapshot_json,
+                              std::string advice_json_arr) {
+  profile_json_ = std::move(snapshot_json);
+  advice_json_ = std::move(advice_json_arr);
+}
+
 std::string BenchRecord::to_json() const {
   json::Writer w;
   w.begin_object();
@@ -110,6 +116,12 @@ std::string BenchRecord::to_json() const {
   w.end_object();
   if (!obs_json_.empty()) {
     w.key("obs").raw(obs_json_);
+  }
+  if (!profile_json_.empty()) {
+    w.key("profile").begin_object();
+    w.key("snapshot").raw(profile_json_);
+    if (!advice_json_.empty()) w.key("advice").raw(advice_json_);
+    w.end_object();
   }
   w.end_object();
   return w.str();
@@ -185,6 +197,22 @@ std::string validate_bench_record(const json::Value& v) {
     const json::Value* hists = obs->find("hists");
     if (hists == nullptr || !hists->is_object()) {
       return "obs.hists missing or not an object";
+    }
+  }
+  const json::Value* profile = v.find("profile");
+  if (profile != nullptr) {
+    if (!profile->is_object()) return "'profile' is not an object";
+    const json::Value* snap = profile->find("snapshot");
+    if (snap == nullptr || !snap->is_object()) {
+      return "profile.snapshot missing or not an object";
+    }
+    const json::Value* objects = snap->find("objects");
+    if (objects == nullptr || !objects->is_array()) {
+      return "profile.snapshot.objects missing or not an array";
+    }
+    const json::Value* advice = profile->find("advice");
+    if (advice != nullptr && !advice->is_array()) {
+      return "profile.advice is not an array";
     }
   }
   return "";

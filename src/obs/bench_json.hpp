@@ -9,7 +9,8 @@
 //     "config":  { "<option>": <typed value>, ... },
 //     "series":  [ { "<column>": <number|string>, ... }, ... ],
 //     "shape":   { "<metric>": <number>, ... },
-//     "obs":     { "values": {...}, "hists": {...} }      // optional
+//     "obs":     { "values": {...}, "hists": {...} },     // optional
+//     "profile": { "snapshot": {...}, "advice": [...] }   // optional
 //   }
 // `series` is the bench's result table with each cell parsed back to a
 // number when it is one; `shape` carries the summary metrics the text output
@@ -57,6 +58,11 @@ class BenchRecord {
   /// run) as the record's "obs" block.
   void set_obs(const Snapshot& snap);
 
+  /// Attach the locality-profiler output as the record's "profile" block.
+  /// `snapshot_json` is a ProfileSnapshot::to_json() object; `advice_json_arr`
+  /// is an advice_json() array (empty string = no advice key).
+  void set_profile(std::string snapshot_json, std::string advice_json_arr);
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
   /// Render the record (deterministic field order).
@@ -84,6 +90,8 @@ class BenchRecord {
   std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
   std::vector<std::pair<std::string, double>> shape_;
   std::string obs_json_;  ///< Pre-rendered Snapshot, empty when unset.
+  std::string profile_json_;  ///< Pre-rendered ProfileSnapshot, empty = unset.
+  std::string advice_json_;   ///< Pre-rendered advice array, empty = unset.
 };
 
 /// Validate a parsed record against the cool-bench/1 schema. Returns an empty

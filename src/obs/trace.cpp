@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "obs/json.hpp"
+#include "obs/profiler.hpp"
 
 namespace cool::obs {
 
@@ -50,7 +51,8 @@ void TraceCollector::clear() noexcept {
   for (TraceBuffer& b : bufs_) b.clear();
 }
 
-std::string chrome_trace_json(const std::vector<Event>& events) {
+std::string chrome_trace_json(const std::vector<Event>& events,
+                              const ProfileSnapshot* profile) {
   json::Writer w;
   w.begin_object();
   w.key("traceEvents").begin_array();
@@ -112,6 +114,33 @@ std::string chrome_trace_json(const std::vector<Event>& events) {
         break;
     }
     w.end_object();
+  }
+  if (profile != nullptr && !profile->objects.empty()) {
+    // One counter sample per track at ts 0: the merged attribution has no
+    // time axis, but the tracks still put the per-object breakdown next to
+    // the task timeline in the viewer.
+    const auto counter = [&w, profile](const char* name, auto value_of) {
+      w.begin_object();
+      w.key("name").string(name);
+      w.key("cat").string("profile");
+      w.key("ph").string("C");
+      w.key("ts").uint_value(0);
+      w.key("pid").uint_value(0);
+      w.key("args").begin_object();
+      for (const ProfileSnapshot::ObjectRow& o : profile->objects) {
+        if (o.s.accesses() == 0) continue;
+        w.key(o.name).uint_value(value_of(o));
+      }
+      w.end_object();
+      w.end_object();
+    };
+    counter("profile.misses", [](const ProfileSnapshot::ObjectRow& o) {
+      return o.s.misses();
+    });
+    counter("profile.remote_stall_cycles",
+            [](const ProfileSnapshot::ObjectRow& o) {
+              return o.s.remote_stall_cycles;
+            });
   }
   w.end_array();
   w.key("displayTimeUnit").string("ns");

@@ -121,9 +121,14 @@ class TraceCollector {
   std::vector<TraceBuffer> bufs_;
 };
 
+struct ProfileSnapshot;  // obs/profiler.hpp
+
 /// Render events as a Chrome trace ("traceEvents" JSON object). Task spans
 /// and idle gaps become duration ("X") events, steals instant ("i") events,
-/// migrations duration events on the migrating processor's row.
-std::string chrome_trace_json(const std::vector<Event>& events);
+/// migrations duration events on the migrating processor's row. When
+/// `profile` is non-null, per-object counter ("C") tracks are appended so
+/// the miss and remote-stall attribution shows up alongside the timeline.
+std::string chrome_trace_json(const std::vector<Event>& events,
+                              const ProfileSnapshot* profile = nullptr);
 
 }  // namespace cool::obs

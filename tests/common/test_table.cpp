@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/error.hpp"
 
 namespace cool::util {
@@ -84,6 +86,46 @@ TEST(Table, MissingCellsRenderBlank) {
   Table t({"a", "b"});
   t.row().cell("only");
   EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(Table, PctCellFormatsFraction) {
+  Table t({"p"});
+  t.row().cell_pct(0.375);       // default precision 1
+  t.row().cell_pct(0.375, 2);    // explicit precision
+  t.row().cell_pct(1.0, 0);      // whole
+  t.row().cell_pct(0.0);         // zero stays a number, not "-"
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("37.5%"), std::string::npos);
+  EXPECT_NE(s.find("37.50%"), std::string::npos);
+  EXPECT_NE(s.find("100%"), std::string::npos);
+  EXPECT_NE(s.find("0.0%"), std::string::npos);
+}
+
+TEST(Table, PctCellNonFiniteRendersDash) {
+  Table t({"p"});
+  t.row().cell_pct(std::numeric_limits<double>::quiet_NaN());
+  t.row().cell_pct(std::numeric_limits<double>::infinity());
+  const std::string s = t.to_string();
+  EXPECT_EQ(s.find("nan"), std::string::npos);
+  EXPECT_EQ(s.find("inf"), std::string::npos);
+  EXPECT_NE(s.find('-'), std::string::npos);
+}
+
+TEST(Table, RatioCellFormatsMultiplier) {
+  Table t({"r"});
+  t.row().cell_ratio(1.9375);        // default precision 2
+  t.row().cell_ratio(0.5, 1);
+  t.row().cell_ratio(std::numeric_limits<double>::quiet_NaN());
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("1.94x"), std::string::npos);
+  EXPECT_NE(s.find("0.5x"), std::string::npos);
+  EXPECT_EQ(s.find("nan"), std::string::npos);
+}
+
+TEST(Table, PctCellInCsv) {
+  Table t({"label", "pct"});
+  t.row().cell("a").cell_pct(0.25);
+  EXPECT_NE(t.to_csv().find("a,25.0%\n"), std::string::npos);
 }
 
 }  // namespace

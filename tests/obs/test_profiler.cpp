@@ -1,0 +1,362 @@
+// Locality profiler + advisor tests: attribution bookkeeping, the
+// paper-style diagnosis rules, the zero-perturbation guarantee, and the
+// sum-to-PerfMonitor invariant on a real application run (Ocean, Fig. 7).
+#include "obs/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/ocean/ocean.hpp"
+#include "core/cool.hpp"
+#include "obs/advisor.hpp"
+
+namespace cool {
+namespace {
+
+TEST(HintClass, ClassifyMatchesAffinityTaxonomy) {
+  using obs::HintClass;
+  EXPECT_EQ(obs::classify_hint(false, false, false, false), HintClass::kNone);
+  EXPECT_EQ(obs::classify_hint(false, true, false, false), HintClass::kObject);
+  EXPECT_EQ(obs::classify_hint(true, false, false, false), HintClass::kTask);
+  EXPECT_EQ(obs::classify_hint(true, true, false, false),
+            HintClass::kTaskObject);
+  EXPECT_EQ(obs::classify_hint(false, false, true, false),
+            HintClass::kProcessor);
+  EXPECT_EQ(obs::classify_hint(true, false, true, false),
+            HintClass::kProcessorTask);
+  EXPECT_EQ(obs::classify_hint(false, true, false, true), HintClass::kMulti);
+  EXPECT_TRUE(obs::hint_has_task_affinity(HintClass::kTask));
+  EXPECT_TRUE(obs::hint_has_task_affinity(HintClass::kTaskObject));
+  EXPECT_TRUE(obs::hint_has_task_affinity(HintClass::kProcessorTask));
+  EXPECT_FALSE(obs::hint_has_task_affinity(HintClass::kObject));
+  EXPECT_FALSE(obs::hint_has_task_affinity(HintClass::kProcessor));
+}
+
+TEST(LocalityProfiler, RejectsOverlappingRegistrations) {
+  obs::LocalityProfiler prof(topo::MachineConfig::dash(4));
+  EXPECT_TRUE(prof.register_object("a", 0x1000, 0x100, 0));
+  EXPECT_FALSE(prof.register_object("tail-overlap", 0x10f0, 0x100, 0));
+  EXPECT_FALSE(prof.register_object("head-overlap", 0x0f80, 0x100, 0));
+  EXPECT_FALSE(prof.register_object("inside", 0x1040, 0x10, 0));
+  EXPECT_TRUE(prof.register_object("b", 0x1100, 0x100, 0));
+  EXPECT_EQ(prof.n_registered(), 2u);
+}
+
+TEST(LocalityProfiler, AttributesAccessesAndAnonymousBuckets) {
+  const auto machine = topo::MachineConfig::dash(8);
+  obs::LocalityProfiler prof(machine);
+  ASSERT_TRUE(prof.register_object("obj", 0x1000, 0x100, 0));
+
+  // One registered hit (remote mem, issued by proc 4 = cluster 1, serviced
+  // by proc 0's memory = cluster 0) and one unregistered access.
+  prof.on_access(mem::AccessInfo{4, 0x1010, mem::Service::kRemoteMem, false,
+                                 100, 0});
+  prof.on_access(mem::AccessInfo{0, 0x40000000, mem::Service::kL1Hit, true,
+                                 1, 0});
+
+  const obs::ProfileSnapshot p = prof.snapshot();
+  ASSERT_EQ(p.objects.size(), 2u);
+  const auto& obj = p.objects[0];
+  EXPECT_EQ(obj.name, "obj");
+  EXPECT_FALSE(obj.anonymous);
+  EXPECT_EQ(obj.s.reads, 1u);
+  EXPECT_EQ(obj.s.serviced[3], 1u);
+  EXPECT_EQ(obj.s.stall_cycles, 100u);
+  EXPECT_EQ(obj.s.remote_stall_cycles, 100u);
+  ASSERT_EQ(obj.miss_from_cluster.size(), 2u);
+  EXPECT_EQ(obj.miss_from_cluster[1], 1u);  // Issued by cluster 1.
+  EXPECT_EQ(obj.miss_home_cluster[0], 1u);  // Serviced by cluster 0.
+
+  const auto& anon = p.objects[1];
+  EXPECT_TRUE(anon.anonymous);
+  EXPECT_EQ(anon.s.writes, 1u);
+  EXPECT_EQ(anon.s.serviced[0], 1u);
+
+  // The total row covers everything, anonymous traffic included.
+  EXPECT_EQ(p.total.accesses(), 2u);
+  EXPECT_EQ(p.total.stall_cycles, 101u);
+}
+
+// The acceptance scenario: one mis-homed object plus one task-affinity set
+// split by stealing. Built deterministically from attribution rows; the
+// advisor must name both and make the right suggestion for each.
+TEST(Advisor, NamesMisHomedObjectAndSplitSet) {
+  obs::ProfileSnapshot p;
+  p.n_procs = 8;
+  p.n_clusters = 2;
+
+  obs::ProfileSnapshot::ObjectRow grid;
+  grid.name = "grid";
+  grid.addr = 0x1000;
+  grid.bytes = 1 << 20;
+  grid.home = 0;  // Lives in cluster 0...
+  grid.s.reads = 4000;
+  grid.s.serviced[0] = 3000;
+  grid.s.serviced[3] = 1000;  // ...but every miss is serviced remotely.
+  grid.s.stall_cycles = 120000;
+  grid.s.remote_stall_cycles = 110000;
+  grid.miss_from_cluster = {50, 950};   // Used almost only by cluster 1.
+  grid.miss_home_cluster = {1000, 0};
+  p.objects.push_back(grid);
+  p.total = grid.s;
+
+  obs::ProfileSnapshot::SetRow set;
+  set.key = 0x2000;
+  set.label = "wavefront";
+  set.hint = obs::HintClass::kObject;  // Shares data but has no TASK hint.
+  set.tasks = 16;
+  set.stolen = 9;
+  set.procs = {0, 1, 2, 3};
+  set.s.reads = 2000;
+  set.s.serviced[3] = 200;
+  set.s.stall_cycles = 90000;
+  set.s.remote_stall_cycles = 80000;
+  p.sets.push_back(set);
+
+  const std::vector<obs::Advice> advice = obs::advise(p, obs::Snapshot{});
+  ASSERT_EQ(advice.size(), 2u);
+
+  // Sorted by weight: the object's 110k remote-stall outranks the set's 90k.
+  EXPECT_EQ(advice[0].kind, obs::AdviceKind::kMigrateObject);
+  EXPECT_EQ(advice[0].subject, "grid");
+  EXPECT_NE(advice[0].suggestion.find("migrate 'grid' to cluster 1"),
+            std::string::npos);
+
+  EXPECT_EQ(advice[1].kind, obs::AdviceKind::kTaskAffinity);
+  EXPECT_EQ(advice[1].subject, "wavefront");
+  EXPECT_NE(advice[1].suggestion.find("TASK affinity"), std::string::npos);
+
+  // The report and JSON both carry the findings.
+  const std::string rep = obs::advice_report(advice);
+  EXPECT_NE(rep.find("migrate-object: grid"), std::string::npos);
+  EXPECT_NE(rep.find("task-affinity: wavefront"), std::string::npos);
+  EXPECT_NE(obs::advice_json(advice).find("\"subject\":\"grid\""),
+            std::string::npos);
+}
+
+TEST(Advisor, SplitTaskAffinitySetSuggestsWholeSetStealing) {
+  obs::ProfileSnapshot p;
+  p.n_procs = 8;
+  p.n_clusters = 2;
+  obs::ProfileSnapshot::SetRow set;
+  set.key = 0x3000;
+  set.label = "col[7]";
+  set.hint = obs::HintClass::kTaskObject;  // Already has TASK affinity.
+  set.tasks = 12;
+  set.stolen = 5;
+  set.procs = {2, 3, 6};
+  set.s.stall_cycles = 5000;
+  p.sets.push_back(set);
+
+  const auto advice = obs::advise(p, obs::Snapshot{});
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice[0].kind, obs::AdviceKind::kWholeSetStealing);
+  EXPECT_EQ(advice[0].subject, "col[7]");
+  EXPECT_NE(advice[0].suggestion.find("steal_whole_sets"), std::string::npos);
+}
+
+TEST(Advisor, QuietProfileYieldsNoAdvice) {
+  obs::ProfileSnapshot p;
+  p.n_procs = 4;
+  p.n_clusters = 1;
+  obs::ProfileSnapshot::ObjectRow o;
+  o.name = "cold";
+  o.s.reads = 10;  // Below min_misses; no misses at all.
+  o.s.serviced[0] = 10;
+  p.objects.push_back(o);
+  EXPECT_TRUE(obs::advise(p, obs::Snapshot{}).empty());
+  EXPECT_NE(obs::advice_report({}).find("no advice"), std::string::npos);
+}
+
+TEST(Advisor, FlagsStealStormAndIdleImbalance) {
+  obs::Snapshot m;
+  m.values["sched.failed_steal_scans"] = 10000;
+  m.values["sched.steals"] = 100;
+  m.values["proc.busy_cycles"] = 1000;
+  m.values["proc.idle_cycles"] = 9000;
+  const auto advice = obs::advise(obs::ProfileSnapshot{}, m);
+  ASSERT_EQ(advice.size(), 2u);
+  EXPECT_EQ(advice[0].kind, obs::AdviceKind::kStealStorm);
+  EXPECT_EQ(advice[1].kind, obs::AdviceKind::kIdleImbalance);
+}
+
+// End-to-end: a processor-affinity workload that uses a cluster-0-homed
+// array exclusively from cluster 1 must surface as migrate advice, with the
+// object named, straight off the live runtime.
+TEST(ProfilerLive, MisHomedObjectGetsMigrateAdvice) {
+  SystemConfig cfg;
+  cfg.machine = topo::MachineConfig::dash(8);
+  cfg.profile = true;
+  Runtime rt(cfg);
+
+  const std::size_t n = 8192;
+  double* hot = rt.alloc_array<double>(n, /*home=*/0);
+  ASSERT_TRUE(rt.profile_register("hot", hot, n * sizeof(double)));
+
+  rt.run([](double* arr, std::size_t total) -> TaskFn {
+    auto& c = co_await self();
+    TaskGroup g;
+    const std::size_t slice = total / 8;
+    for (int t = 0; t < 8; ++t) {
+      // All users pinned to cluster 1 (procs 4..7); disjoint slices so every
+      // miss is serviced by the mis-placed home memory, not a peer cache.
+      c.spawn(Affinity::processor(4 + t % 4), g,
+              [](double* part, std::size_t len) -> TaskFn {
+                auto& cc = co_await self();
+                cc.update(part, len * sizeof(double));
+              }(arr + t * slice, slice));
+    }
+    co_await c.wait(g);
+  }(hot, n));
+
+  const obs::ProfileSnapshot p = rt.profile_snapshot();
+  ASSERT_FALSE(p.objects.empty());
+  EXPECT_EQ(p.objects[0].name, "hot");
+  EXPECT_GT(p.objects[0].s.misses(), 64u);
+
+  const auto advice = obs::advise(p, rt.obs_snapshot());
+  bool migrate_hot = false;
+  for (const auto& a : advice) {
+    if (a.kind == obs::AdviceKind::kMigrateObject && a.subject == "hot") {
+      migrate_hot = true;
+      EXPECT_NE(a.suggestion.find("cluster 1"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(migrate_hot);
+}
+
+// Fig. 7 invariant: the per-object breakdown (anonymous buckets included)
+// must sum exactly to the PerfMonitor aggregates for the same run.
+TEST(ProfilerLive, OceanBreakdownSumsToPerfMonitor) {
+  using namespace cool::apps::ocean;
+  SystemConfig sc;
+  sc.machine = topo::MachineConfig::dash(8);
+  sc.profile = true;
+  Runtime rt(sc);
+
+  Config cfg;
+  cfg.n = 64;
+  cfg.grids = 2;
+  cfg.steps = 2;
+  cfg.variant = Variant::kDistr;
+  const Result r = run(rt, cfg);
+
+  const obs::ProfileSnapshot p = rt.profile_snapshot();
+  ASSERT_FALSE(p.objects.empty());
+
+  obs::AccessStats sum;
+  bool saw_named = false;
+  for (const auto& o : p.objects) {
+    sum.add(o.s);
+    if (!o.anonymous) saw_named = true;
+  }
+  EXPECT_TRUE(saw_named);  // grid[g]/scratch registrations took effect.
+
+  const auto& mem = r.run.mem;
+  EXPECT_EQ(sum.reads, mem.reads);
+  EXPECT_EQ(sum.writes, mem.writes);
+  for (int i = 0; i < mem::kNumServices; ++i) {
+    EXPECT_EQ(sum.serviced[i], mem.serviced[i]) << "service class " << i;
+  }
+  EXPECT_EQ(sum.stall_cycles, mem.latency_cycles);
+  // The snapshot's own total row agrees with the recomputed sum.
+  EXPECT_EQ(p.total.accesses(), sum.accesses());
+  EXPECT_EQ(p.total.stall_cycles, sum.stall_cycles);
+}
+
+// Turning the profiler on must not change the simulation: identical cycle
+// counts and results with and without it.
+TEST(ProfilerLive, ProfilingDoesNotPerturbSimulatedTime) {
+  using namespace cool::apps::ocean;
+  auto run_ocean = [](bool profile) {
+    SystemConfig sc;
+    sc.machine = topo::MachineConfig::dash(8);
+    sc.profile = profile;
+    Runtime rt(sc);
+    Config cfg;
+    cfg.n = 64;
+    cfg.grids = 2;
+    cfg.steps = 2;
+    cfg.variant = Variant::kDistr;
+    const Result r = run(rt, cfg);
+    return std::pair<std::uint64_t, double>(r.run.sim_cycles, r.checksum);
+  };
+  const auto off = run_ocean(false);
+  const auto on = run_ocean(true);
+  EXPECT_EQ(off.first, on.first);
+  EXPECT_EQ(off.second, on.second);
+}
+
+// Set attribution through the engine dispatch hook: TASK+OBJECT tasks
+// sharing one affinity object show up as one set with its dispatch count,
+// labelled by the registered object it keys on.
+TEST(ProfilerLive, TaskAffinitySetsAreAttributed) {
+  SystemConfig cfg;
+  cfg.machine = topo::MachineConfig::dash(4);
+  cfg.profile = true;
+  Runtime rt(cfg);
+
+  double* src = rt.alloc_array<double>(512, 0);
+  double* dst = rt.alloc_array<double>(512, 1);
+  ASSERT_TRUE(rt.profile_register("src", src, 512 * sizeof(double)));
+
+  rt.run([](double* s, double* d) -> TaskFn {
+    auto& c = co_await self();
+    TaskGroup g;
+    for (int t = 0; t < 6; ++t) {
+      c.spawn(Affinity::task_object(s, d), g,
+              [](double* from, double* to) -> TaskFn {
+                auto& cc = co_await self();
+                cc.read(from, 512 * sizeof(double));
+                cc.write(to, 512 * sizeof(double));
+              }(s, d));
+    }
+    co_await c.wait(g);
+  }(src, dst));
+
+  const obs::ProfileSnapshot p = rt.profile_snapshot();
+  ASSERT_FALSE(p.sets.empty());
+  const auto& set = p.sets[0];
+  EXPECT_EQ(set.hint, obs::HintClass::kTaskObject);
+  EXPECT_EQ(set.tasks, 6u);
+  EXPECT_EQ(set.label, "src");  // Key resolves to the registered object.
+  EXPECT_GT(set.s.accesses(), 0u);
+
+  bool task_object_row = false;
+  for (const auto& h : p.hints) {
+    if (h.hint == obs::HintClass::kTaskObject) {
+      task_object_row = true;
+      EXPECT_EQ(h.tasks, 6u);
+    }
+  }
+  EXPECT_TRUE(task_object_row);
+}
+
+TEST(ProfileSnapshot, ToJsonIsWellFormed) {
+  SystemConfig cfg;
+  cfg.machine = topo::MachineConfig::dash(4);
+  cfg.profile = true;
+  Runtime rt(cfg);
+  double* d = rt.alloc_array<double>(64, 0);
+  ASSERT_TRUE(rt.profile_register("d", d, 64 * sizeof(double)));
+  rt.run([](double* arr) -> TaskFn {
+    auto& c = co_await self();
+    c.update(arr, 64 * sizeof(double));
+  }(d));
+
+  const std::string json = rt.profile_snapshot().to_json();
+  EXPECT_NE(json.find("\"objects\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"d\""), std::string::npos);
+  EXPECT_NE(json.find("\"total\""), std::string::npos);
+
+  const std::string report =
+      obs::profile_report(rt.profile_snapshot());
+  EXPECT_NE(report.find("locality profile: objects"), std::string::npos);
+  EXPECT_NE(report.find("d"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cool
