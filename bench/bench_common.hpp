@@ -23,6 +23,15 @@
 
 namespace cool::bench {
 
+/// Compiled-in sanitizer name (set by CMake when COOL_SANITIZE is active);
+/// recorded in every JSON record so runner --compare can refuse to treat
+/// sanitized numbers as performance data.
+#ifdef COOL_SANITIZE_NAME
+inline constexpr const char* kSanitizerName = COOL_SANITIZE_NAME;
+#else
+inline constexpr const char* kSanitizerName = "none";
+#endif
+
 /// Build a simulated-DASH runtime with `procs` processors.
 inline Runtime make_runtime(std::uint32_t procs, const sched::Policy& policy) {
   SystemConfig sc;
@@ -31,15 +40,16 @@ inline Runtime make_runtime(std::uint32_t procs, const sched::Policy& policy) {
   return Runtime(sc);
 }
 
-/// As above, honouring the bench's --profile request. Benches build their
-/// headline (largest-P, most-interesting-variant) runtime through this so
-/// `--profile` works on every figure for free.
+/// As above, honouring the bench's --profile and --race-check requests.
+/// Benches build their headline (largest-P, most-interesting-variant) runtime
+/// through this so both flags work on every figure for free.
 inline Runtime make_runtime(std::uint32_t procs, const sched::Policy& policy,
                             const util::Options& opt) {
   SystemConfig sc;
   sc.machine = topo::MachineConfig::dash(procs);
   sc.policy = policy;
   sc.profile = opt.given("profile");
+  sc.race_check = opt.flag("race-check");
   return Runtime(sc);
 }
 
@@ -59,6 +69,10 @@ inline util::Options standard_options(const std::string& name,
       "attach the locality profiler to the headline run; text mode appends "
       "the per-object/per-set report, json mode embeds a 'profile' block. "
       "--profile=<path> additionally writes the profile JSON there");
+  opt.add_flag("race-check",
+               "attach the happens-before race detector to the headline run; "
+               "text mode appends the race report, json mode records the "
+               "count (passive: simulated cycles are unchanged)");
   return opt;
 }
 
@@ -113,7 +127,10 @@ class Report {
       : rec_(opt.program()),
         opt_(&opt),
         json_(opt.flag("json") || !opt.get_string("json-out").empty()) {
-    if (json_) rec_.set_config(opt);
+    if (json_) {
+      rec_.set_config(opt);
+      rec_.set_config_entry("build.sanitizer", kSanitizerName);
+    }
   }
 
   /// True when the bench should produce its human-readable output.
@@ -148,7 +165,24 @@ class Report {
   /// No-op unless the runtime was built with profiling on — so benches call
   /// this unconditionally on their headline runtime and `--profile` stays
   /// strictly opt-in (output is untouched without it).
+  /// Attach the race-check verdict of `rt`'s finished run: text mode prints
+  /// the report, json mode records the distinct-race count as a shape
+  /// metric. No-op unless the runtime was built with race_check on, so the
+  /// default output is byte-identical without the flag.
+  void race_from(Runtime& rt) {
+    const analysis::RaceDetector* rd = rt.race_detector();
+    if (rd == nullptr) return;
+    if (json_) {
+      rec_.add_shape("races", static_cast<double>(rd->total()));
+    } else {
+      std::fputc('\n', stdout);
+      const std::string rep = rd->report();
+      std::fwrite(rep.data(), 1, rep.size(), stdout);
+    }
+  }
+
   void profile_from(Runtime& rt) {
+    race_from(rt);
     if (rt.profiler() == nullptr) return;
     const cool::obs::ProfileSnapshot p = rt.profile_snapshot();
     const std::vector<cool::obs::Advice> advice =

@@ -26,6 +26,7 @@
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/options.hpp"
@@ -153,6 +154,28 @@ bool load_record(const fs::path& path, Value& v) {
   return cool::obs::validate_bench_record(v).empty();
 }
 
+/// Render one config entry as comparable text; an absent key reads as `def`
+/// so records predating the key compare equal to ones that recorded its
+/// default.
+std::string config_text(const Value* config, const char* key,
+                        const char* def) {
+  const Value* v = config != nullptr ? config->find(key) : nullptr;
+  if (v == nullptr) return def;
+  switch (v->kind) {
+    case Value::Kind::kBool:
+      return v->boolean ? "true" : "false";
+    case Value::Kind::kNumber: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%g", v->num);
+      return buf;
+    }
+    case Value::Kind::kString:
+      return v->str;
+    default:
+      return def;
+  }
+}
+
 /// Relative change of b vs a in percent (0 when both are ~zero).
 double rel_pct(double a, double b) {
   if (std::fabs(a) < 1e-12) return std::fabs(b) < 1e-12 ? 0.0 : 100.0;
@@ -219,6 +242,22 @@ int compare_runs(const std::string& old_dir, const std::string& new_dir,
     // Config drift makes metric deltas meaningless — call it out first.
     const Value* ca = a.find("config");
     const Value* cb = b.find("config");
+    // Analysis instrumentation (race detector, sanitizers) distorts wall
+    // time and, for sanitizers, codegen — a record pair that disagrees on
+    // either is not performance-comparable, which deserves a louder callout
+    // than ordinary config drift.
+    constexpr std::pair<const char*, const char*> kAnalysisKeys[] = {
+        {"race-check", "false"}, {"build.sanitizer", "none"}};
+    for (const auto& [key, def] : kAnalysisKeys) {
+      const std::string va = config_text(ca, key, def);
+      const std::string vb = config_text(cb, key, def);
+      if (va != vb) {
+        std::printf(
+            "%-28s WARNING: %s differs (%s vs %s) — records are not "
+            "performance-comparable\n",
+            bench.c_str(), key, va.c_str(), vb.c_str());
+      }
+    }
     for (const auto& [k, va] : ca->obj) {
       const Value* vb = cb->find(k);
       const bool same =

@@ -1,0 +1,26 @@
+#include "analysis/invariants.hpp"
+
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace cool::analysis {
+
+void check_scheduler_concurrent(const sched::Scheduler& s) {
+  s.check_queues();
+}
+
+void check_scheduler_quiescent(const sched::Scheduler& s) {
+  check_scheduler_concurrent(s);
+  std::unordered_set<const sched::TaskDesc*> seen;
+  std::size_t n = 0;
+  s.for_each_queued([&](const sched::TaskDesc* t) {
+    ++n;
+    COOL_CHECK(seen.insert(t).second,
+               "invariant: task resident in two queues at once");
+  });
+  COOL_CHECK(n == s.total_queued(),
+             "invariant: queued-task walk disagrees with the size counters");
+}
+
+}  // namespace cool::analysis

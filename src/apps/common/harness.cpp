@@ -10,6 +10,7 @@ RunResult collect(const Runtime& rt, double checksum) {
   r.sched = rt.sched_stats();
   r.obs = rt.obs_snapshot();
   r.checksum = checksum;
+  if (const auto* rd = rt.race_detector()) r.races = rd->total();
   if (r.sched.spawned > 0) {
     r.placement_adherence =
         1.0 - static_cast<double>(r.sched.tasks_stolen) /

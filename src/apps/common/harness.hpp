@@ -24,6 +24,8 @@ struct RunResult {
   double checksum = 0.0;              ///< Application-defined result digest.
   double placement_adherence = 0.0;   ///< Fraction of tasks run un-stolen.
   obs::Snapshot obs;                  ///< Full metrics snapshot of the run.
+  /// Distinct races found by --race-check (0 when the detector is off).
+  std::uint64_t races = 0;
 };
 
 /// Collect the standard result block from a finished runtime.

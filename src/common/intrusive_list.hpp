@@ -133,6 +133,36 @@ class IntrusiveList {
   iterator begin() noexcept { return iterator(head_.next, &head_); }
   iterator end() noexcept { return iterator(&head_, &head_); }
 
+  /// Read-only traversal (validators walk queues through const references).
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = const T*;
+    using difference_type = std::ptrdiff_t;
+
+    const_iterator(const ListHook* at, const ListHook* end) noexcept
+        : at_(at), end_(end) {}
+    const T* operator*() const noexcept {
+      return owner(const_cast<ListHook*>(at_));
+    }
+    const_iterator& operator++() noexcept {
+      at_ = at_->next;
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const noexcept {
+      return at_ == o.at_;
+    }
+
+   private:
+    const ListHook* at_;
+    const ListHook* end_;
+  };
+
+  const_iterator begin() const noexcept {
+    return const_iterator(head_.next, &head_);
+  }
+  const_iterator end() const noexcept { return const_iterator(&head_, &head_); }
+
  private:
   static ListHook* hook(T* item) noexcept { return &(item->*HookPtr); }
 

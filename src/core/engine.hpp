@@ -14,6 +14,10 @@
 #include "core/costs.hpp"
 #include "topology/machine.hpp"
 
+namespace cool::analysis {
+class SyncObserver;
+}
+
 namespace cool {
 
 class Ctx;
@@ -22,6 +26,14 @@ struct TaskRecord;
 class Engine {
  public:
   virtual ~Engine() = default;
+
+  /// Happens-before edge tap for the race detector; null (the default) means
+  /// no analysis, and every emission site is a single pointer test. Only the
+  /// sim engine ever attaches one — its deterministic interleaving is what
+  /// makes the edge stream exact.
+  [[nodiscard]] analysis::SyncObserver* sync_observer() const noexcept {
+    return sync_obs_;
+  }
 
   /// --- called by Ctx on behalf of the running task -----------------------
   virtual void mem_access(Ctx& c, std::uint64_t addr, std::uint64_t bytes,
@@ -64,6 +76,9 @@ class Engine {
   /// independent of where the OS happened to place the arena — this is what
   /// makes every experiment bit-reproducible across processes.
   virtual void set_addr_base(std::uint64_t base) { (void)base; }
+
+ protected:
+  analysis::SyncObserver* sync_obs_ = nullptr;
 };
 
 }  // namespace cool

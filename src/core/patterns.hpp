@@ -38,10 +38,12 @@ class Barrier {
       TaskRecord* rec = c.record();
       std::vector<TaskRecord*> wake;
       bool suspend = false;
+      bool last = false;
       {
         std::lock_guard g(b.m_);
         if (b.arrived_ + 1 == b.parties_) {
           // Last arrival: release the phase and reset for reuse.
+          last = true;
           b.arrived_ = 0;
           while (sched::TaskDesc* d = b.waiters_.pop_front()) {
             wake.push_back(TaskRecord::of(d));
@@ -52,6 +54,16 @@ class Barrier {
           c.engine()->on_block(c);
           b.waiters_.push_back(&rec->desc);
           suspend = true;
+        }
+      }
+      if (auto* so = c.engine()->sync_observer()) {
+        // Every arrival is a source edge into the barrier; the last arrival
+        // joins the accumulated edges back into each released party
+        // (including itself), giving all-to-all ordering across the phase.
+        so->on_barrier_arrive(&b, rec->desc.seq);
+        if (last) {
+          for (TaskRecord* r : wake) so->on_barrier_release(&b, r->desc.seq);
+          so->on_barrier_release(&b, rec->desc.seq);
         }
       }
       for (TaskRecord* r : wake) c.engine()->unblock(r, &c);

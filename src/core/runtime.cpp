@@ -33,6 +33,10 @@ Runtime::Runtime(SystemConfig cfg) : cfg_(cfg) {
       thr_->attach_profiler(prof_.get());
     }
   }
+  if (cfg_.race_check && sim_) {
+    race_ = std::make_unique<analysis::RaceDetector>(cfg_.machine);
+    sim_->attach_race(race_.get(), race_.get());
+  }
   // Reserve the allocation arena (lazily backed; pages materialise on touch).
   void* mem = ::mmap(nullptr, cfg_.arena_bytes, PROT_READ | PROT_WRITE,
                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
@@ -94,7 +98,7 @@ topo::ProcId Runtime::home(const void* p) {
 
 bool Runtime::profile_register(const std::string& name, const void* p,
                                std::size_t bytes) {
-  if (!prof_ || p == nullptr || bytes == 0) return false;
+  if ((!prof_ && !race_) || p == nullptr || bytes == 0) return false;
   const std::uint64_t addr =
       reinterpret_cast<std::uint64_t>(p) - reinterpret_cast<std::uint64_t>(arena_);
   // Home for display only, and only if already bound — home_of() would
@@ -103,7 +107,13 @@ bool Runtime::profile_register(const std::string& name, const void* p,
   if (sim_ && sim_->memsys().pages().is_bound(addr)) {
     home_proc = sim_->memsys().pages().home_of_bound(addr);
   }
-  return prof_->register_object(name, addr, bytes, home_proc);
+  bool ok = true;
+  if (prof_) ok = prof_->register_object(name, addr, bytes, home_proc);
+  if (race_) {
+    const bool rok = race_->registry().add(name, addr, bytes, home_proc);
+    if (!prof_) ok = rok;
+  }
+  return ok;
 }
 
 obs::ProfileSnapshot Runtime::profile_snapshot() const {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/race_detector.hpp"
 #include "core/costs.hpp"
 #include "core/sim_engine.hpp"
 #include "core/taskfn.hpp"
@@ -42,6 +43,11 @@ struct SystemConfig {
   /// tap is passive — simulated cycle counts are identical with it on — and
   /// when off no profiler is even constructed.
   bool profile = false;
+  /// Attach the happens-before race detector (kSim only — it needs the sim
+  /// engine's deterministic interleaving; silently ignored under kThreads,
+  /// where TSan covers the same ground). Passive like the profiler: cycle
+  /// counts are identical with it on, and when off nothing is constructed.
+  bool race_check = false;
   /// Size of the runtime's allocation arena (virtual memory, touched lazily).
   /// Allocations are bump-allocated from it so simulated addresses are
   /// arena-relative and every run is bit-reproducible.
@@ -129,6 +135,15 @@ class Runtime {
   /// Merged attribution snapshot (empty snapshot when profiling is off).
   [[nodiscard]] obs::ProfileSnapshot profile_snapshot() const;
 
+  // --- race detector (SystemConfig::race_check) ----------------------------
+  /// The attached detector, or null when race checking is off.
+  [[nodiscard]] analysis::RaceDetector* race_detector() noexcept {
+    return race_.get();
+  }
+  [[nodiscard]] const analysis::RaceDetector* race_detector() const noexcept {
+    return race_.get();
+  }
+
   /// Human-readable post-run summary: completion time, task counts,
   /// scheduler activity, memory-system behaviour, and load balance.
   [[nodiscard]] std::string report() const;
@@ -148,6 +163,7 @@ class Runtime {
   std::unique_ptr<SimEngine> sim_;
   std::unique_ptr<ThreadEngine> thr_;
   std::unique_ptr<obs::LocalityProfiler> prof_;  ///< Null unless profiling.
+  std::unique_ptr<analysis::RaceDetector> race_;  ///< Null unless race_check.
   Engine* eng_ = nullptr;
   char* arena_ = nullptr;       ///< mmap'd allocation arena.
   std::size_t arena_used_ = 0;  ///< Bump pointer (page multiples).

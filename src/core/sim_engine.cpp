@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "analysis/invariants.hpp"
+#include "analysis/sync_observer.hpp"
+#include "common/check.hpp"
 #include "core/profile_hook.hpp"
 #include "core/sync.hpp"
 
@@ -31,8 +34,15 @@ void SimEngine::attach_obs(obs::Registry& reg) {
 }
 
 void SimEngine::attach_profiler(obs::LocalityProfiler* prof) {
+  if (prof_ != nullptr) mem_.remove_observer(prof_);
   prof_ = prof;
-  mem_.set_observer(prof);
+  if (prof != nullptr) mem_.add_observer(prof);
+}
+
+void SimEngine::attach_race(analysis::SyncObserver* so,
+                            mem::AccessObserver* tap) {
+  sync_obs_ = so;
+  if (tap != nullptr) mem_.add_observer(tap);
 }
 
 SimEngine::~SimEngine() {
@@ -100,6 +110,10 @@ topo::ProcId SimEngine::home(std::uint64_t addr, topo::ProcId toucher) {
 
 void SimEngine::spawn_record(TaskRecord* rec, Ctx* spawner) {
   rec->desc.seq = ++seq_;
+  if (sync_obs_ != nullptr) {
+    sync_obs_->on_spawn(
+        spawner != nullptr ? spawner->record()->desc.seq : 0, rec->desc.seq);
+  }
   topo::ProcId from = 0;
   if (spawner != nullptr) {
     charge(*spawner, costs_.spawn);
@@ -192,6 +206,12 @@ void SimEngine::step(topo::ProcId p) {
           p, hint_class_of(rec->desc.aff),
           key != 0 ? tr(key) : obs::LocalityProfiler::kNoSet, acq.stolen);
     }
+    if (sync_obs_ != nullptr) {
+      const std::uint64_t key = affinity_set_key(rec->desc.aff);
+      sync_obs_->on_task_run(
+          p, rec->desc.seq, hint_class_of(rec->desc.aff),
+          key != 0 ? tr(key) : analysis::SyncObserver::kNoSet);
+    }
     pr.current = rec;
   }
 
@@ -277,6 +297,12 @@ void SimEngine::run(TaskFn&& root) {
     const auto [t, p] = *runq_.begin();
     runq_.erase(runq_.begin());
     step(static_cast<topo::ProcId>(p));
+  }
+
+  // Quiesce point: every worker has stopped, so cross-queue invariants
+  // (task uniqueness, ledger balance) are checkable. Default-level and up.
+  if (util::check_level() != util::CheckLevel::kOff) {
+    analysis::check_scheduler_quiescent(sched_);
   }
 
   finish_time_ = 0;

@@ -75,6 +75,11 @@ class SimEngine final : public Engine {
   /// simulated memory access and is told the running task's hint class at
   /// each dispatch. Purely passive — simulated cycle counts are unchanged.
   void attach_profiler(obs::LocalityProfiler* prof);
+  /// Attach the race detector's two taps: `so` receives spawn/dispatch and
+  /// every synchronisation edge, `tap` the byte-ranged access stream. Both
+  /// usually point at the same analysis::RaceDetector. Passive, like the
+  /// profiler; coexists with it (the memory system fans out to all observers).
+  void attach_race(analysis::SyncObserver* so, mem::AccessObserver* tap);
 
   // --- Engine interface ----------------------------------------------------
   void mem_access(Ctx& c, std::uint64_t addr, std::uint64_t bytes,

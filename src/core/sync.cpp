@@ -4,6 +4,8 @@ namespace cool {
 
 void Mutex::unlock(Ctx& c) {
   c.engine()->charge(c, c.engine()->costs().mutex_release);
+  analysis::SyncObserver* so = c.engine()->sync_observer();
+  if (so != nullptr) so->on_release(this, c.record()->desc.seq);
   TaskRecord* next = nullptr;
   {
     std::lock_guard g(m_);
@@ -16,10 +18,18 @@ void Mutex::unlock(Ctx& c) {
       holder_ = nullptr;
     }
   }
-  if (next != nullptr) c.engine()->unblock(next, &c);
+  if (next != nullptr) {
+    // The handoff IS the next holder's acquisition.
+    if (so != nullptr) so->on_acquire(this, next->desc.seq);
+    c.engine()->unblock(next, &c);
+  }
 }
 
 void TaskGroup::task_done(Ctx& completer) {
+  analysis::SyncObserver* so = completer.engine()->sync_observer();
+  // Every member's completion is ordered before the waitfor return, not just
+  // the last one's, so each contributes a source edge.
+  if (so != nullptr) so->on_group_done(this, completer.record()->desc.seq);
   std::vector<TaskRecord*> to_wake;
   {
     std::lock_guard g(m_);
@@ -29,10 +39,15 @@ void TaskGroup::task_done(Ctx& completer) {
       to_wake.push_back(TaskRecord::of(d));
     }
   }
-  for (TaskRecord* rec : to_wake) completer.engine()->unblock(rec, &completer);
+  for (TaskRecord* rec : to_wake) {
+    if (so != nullptr) so->on_group_wait(this, rec->desc.seq);
+    completer.engine()->unblock(rec, &completer);
+  }
 }
 
 void Cond::wake(Ctx& c, TaskRecord* rec) {
+  analysis::SyncObserver* so = c.engine()->sync_observer();
+  if (so != nullptr) so->on_cond_wake(this, rec->desc.seq);
   Mutex* mu = rec->reacquire;
   COOL_CHECK(mu != nullptr, "cond waiter lost its monitor mutex");
   rec->reacquire = nullptr;
@@ -49,7 +64,10 @@ void Cond::wake(Ctx& c, TaskRecord* rec) {
       mu->waiters_.push_back(&rec->desc);
     }
   }
-  if (acquired) c.engine()->unblock(rec, &c);
+  if (acquired) {
+    if (so != nullptr) so->on_acquire(mu, rec->desc.seq);
+    c.engine()->unblock(rec, &c);
+  }
 }
 
 void Cond::signal(Ctx& c) {
@@ -59,7 +77,12 @@ void Cond::signal(Ctx& c) {
     std::lock_guard g(m_);
     if (sched::TaskDesc* d = waiters_.pop_front()) rec = TaskRecord::of(d);
   }
-  if (rec != nullptr) wake(c, rec);
+  if (rec != nullptr) {
+    if (auto* so = c.engine()->sync_observer()) {
+      so->on_cond_signal(this, c.record()->desc.seq);
+    }
+    wake(c, rec);
+  }
 }
 
 void Cond::broadcast(Ctx& c) {
@@ -69,6 +92,11 @@ void Cond::broadcast(Ctx& c) {
     std::lock_guard g(m_);
     while (sched::TaskDesc* d = waiters_.pop_front()) {
       recs.push_back(TaskRecord::of(d));
+    }
+  }
+  if (!recs.empty()) {
+    if (auto* so = c.engine()->sync_observer()) {
+      so->on_cond_signal(this, c.record()->desc.seq);
     }
   }
   for (TaskRecord* rec : recs) wake(c, rec);

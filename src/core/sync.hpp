@@ -25,6 +25,7 @@
 #include <mutex>
 #include <vector>
 
+#include "analysis/sync_observer.hpp"
 #include "common/error.hpp"
 #include "common/intrusive_list.hpp"
 #include "core/ctx.hpp"
@@ -112,16 +113,23 @@ struct LockAwaiter {
   bool await_suspend(TaskFn::Handle) {
     TaskRecord* rec = c.record();
     c.engine()->charge(c, c.engine()->costs().mutex_acquire);
-    std::lock_guard g(mu.m_);
-    if (!mu.held_) {
+    {
+      std::lock_guard g(mu.m_);
+      if (mu.held_) {
+        rec->state = TaskState::kBlocked;
+        c.engine()->on_block(c);
+        mu.waiters_.push_back(&rec->desc);
+        return true;
+      }
       mu.held_ = true;
       mu.holder_ = rec;
-      return false;  // Acquired without blocking.
     }
-    rec->state = TaskState::kBlocked;
-    c.engine()->on_block(c);
-    mu.waiters_.push_back(&rec->desc);
-    return true;
+    // Acquired without blocking: joins whatever the previous holder released.
+    // (The blocked path's edge is emitted by Mutex::unlock at handoff.)
+    if (auto* so = c.engine()->sync_observer()) {
+      so->on_acquire(&mu, rec->desc.seq);
+    }
+    return false;
   }
   LockGuard await_resume() const noexcept { return LockGuard(&c, &mu); }
 };
@@ -164,12 +172,21 @@ struct GroupWaitAwaiter {
   bool await_ready() const noexcept { return false; }
   bool await_suspend(TaskFn::Handle) {
     TaskRecord* rec = c.record();
-    std::lock_guard g(grp.m_);
-    if (grp.outstanding_ == 0) return false;  // Nothing to wait for.
-    rec->state = TaskState::kBlocked;
-    c.engine()->on_block(c);
-    grp.waiters_.push_back(&rec->desc);
-    return true;
+    {
+      std::lock_guard g(grp.m_);
+      if (grp.outstanding_ != 0) {
+        rec->state = TaskState::kBlocked;
+        c.engine()->on_block(c);
+        grp.waiters_.push_back(&rec->desc);
+        return true;
+      }
+    }
+    // Nothing to wait for — but members that already completed still ordered
+    // themselves before this waitfor, so join their edges.
+    if (auto* so = c.engine()->sync_observer()) {
+      so->on_group_wait(&grp, rec->desc.seq);
+    }
+    return false;
   }
   void await_resume() const noexcept {}
 };

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "analysis/invariants.hpp"
+#include "common/check.hpp"
 #include "core/profile_hook.hpp"
 #include "core/sync.hpp"
 
@@ -201,6 +203,12 @@ void ThreadEngine::run(TaskFn&& root, std::uint64_t timeout_ms) {
   stop_.store(true);
   sched_.notify_all_waiters();
   for (auto& w : workers) w.join();
+
+  // All workers joined: the scheduler is quiescent, so cross-queue
+  // invariants are checkable even after a concurrent run.
+  if (util::check_level() != util::CheckLevel::kOff) {
+    analysis::check_scheduler_quiescent(sched_);
+  }
 
   std::exception_ptr e;
   {

@@ -2,12 +2,21 @@
 //
 // The locality profiler (obs/profiler.hpp) needs to know, for every line
 // reference, where it was serviced and what it cost — attribution the
-// aggregate PerfMonitor throws away. Rather than teach MemorySystem about
-// objects and tasks, it exposes this narrow observer interface: when one is
-// attached, access_line() reports each reference after the fact. Observers
-// are strictly read-only taps — they run after all simulated state (caches,
-// directory, page map, counters) is updated and must not feed anything back,
-// so attaching one can never change simulated cycle counts.
+// aggregate PerfMonitor throws away. The race detector
+// (analysis/race_detector.hpp) needs the same stream with byte precision.
+// Rather than teach MemorySystem about objects and tasks, it exposes this
+// narrow observer interface: when observers are attached, access_line()
+// reports each reference after the fact.
+//
+// Ordering guarantees (the contract both consumers rely on):
+//   * Observers run after ALL simulated state for the line (caches,
+//     directory, page map, counters) is final, and must not feed anything
+//     back — attaching one can never change simulated cycle counts.
+//   * Events for one processor are delivered in that processor's program
+//     order; multi-line accesses deliver their lines in ascending address
+//     order, each with the byte sub-range [lo, hi) the program touched.
+//   * Multiple observers are invoked in attachment order, each seeing the
+//     identical event stream.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +34,9 @@ struct AccessInfo {
   bool is_write = false;
   std::uint32_t stall = 0;      ///< Stall cycles charged for this line.
   topo::ProcId home = 0;        ///< Page home at the time of the access.
+  std::uint64_t lo = 0;         ///< First byte of the line actually touched.
+  std::uint64_t hi = 0;         ///< One past the last byte touched (0 = whole
+                                ///< line; some callers are line-granular).
 };
 
 class AccessObserver {

@@ -62,7 +62,8 @@ void MemorySystem::evict_line(topo::ProcId proc, LineAddr victim) {
 }
 
 std::uint64_t MemorySystem::access_line(topo::ProcId proc, LineAddr line,
-                                        std::uint64_t addr, bool is_write,
+                                        std::uint64_t addr, std::uint64_t lo,
+                                        std::uint64_t hi, bool is_write,
                                         std::uint64_t now) {
   ProcCounters& c = mon_.proc(proc);
   std::uint64_t lat = 0;
@@ -117,7 +118,7 @@ std::uint64_t MemorySystem::access_line(topo::ProcId proc, LineAddr line,
         c.upgrades += 1;
         lat += inv.any_remote ? machine_.lat.inval_remote
                               : machine_.lat.inval_local;
-        if (observer_ != nullptr) observer_->on_inval(addr, proc, inv.killed);
+        for (AccessObserver* o : observers_) o->on_inval(addr, proc, inv.killed);
       }
       dir_.set_dirty(line, proc);
     }
@@ -128,12 +129,15 @@ std::uint64_t MemorySystem::access_line(topo::ProcId proc, LineAddr line,
 
   c.serviced[static_cast<int>(service)] += 1;
   c.latency_cycles += lat;
-  if (observer_ != nullptr) {
+  if (!observers_.empty()) {
     // The line is cached here by now, so its page is necessarily bound and
     // this lookup cannot first-touch (the tap never perturbs the page map).
-    observer_->on_access(AccessInfo{proc, addr, service, is_write,
-                                    static_cast<std::uint32_t>(lat),
-                                    pages_.home_of(addr, proc)});
+    const AccessInfo info{proc,     addr,
+                          service,  is_write,
+                          static_cast<std::uint32_t>(lat),
+                          pages_.home_of(addr, proc),
+                          lo,       hi};
+    for (AccessObserver* o : observers_) o->on_access(info);
   }
   return lat;
 }
@@ -147,8 +151,13 @@ std::uint64_t MemorySystem::access(topo::ProcId proc, std::uint64_t addr,
   const LineAddr last = machine_.line_of(addr + bytes - 1);
   std::uint64_t total = 0;
   for (LineAddr line = first; line <= last; ++line) {
-    total += access_line(proc, line, line * machine_.line_bytes, is_write,
-                         now + total);
+    const std::uint64_t line_start = line * machine_.line_bytes;
+    // The byte sub-range of this line the program actually touched: byte
+    // precision lets the race detector distinguish true sharing from false
+    // sharing within one line.
+    const std::uint64_t lo = std::max(addr, line_start);
+    const std::uint64_t hi = std::min(addr + bytes, line_start + machine_.line_bytes);
+    total += access_line(proc, line, line_start, lo, hi, is_write, now + total);
   }
   return total;
 }

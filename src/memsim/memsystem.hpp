@@ -72,14 +72,29 @@ class MemorySystem {
   /// benches use it to separate warm-up from measurement.
   void flush_all_caches();
 
-  /// Attach (or with nullptr, detach) a passive per-access tap. The observer
-  /// is invoked after each line's simulated state is final, so it can never
-  /// perturb timing; it must outlive the accesses it observes.
-  void set_observer(AccessObserver* obs) noexcept { observer_ = obs; }
+  /// Attach a passive per-access tap (in addition to any already attached).
+  /// Observers are invoked in attachment order, after each line's simulated
+  /// state is final, so they can never perturb timing; each must outlive the
+  /// accesses it observes.
+  void add_observer(AccessObserver* obs) {
+    if (obs != nullptr) observers_.push_back(obs);
+  }
+
+  void remove_observer(AccessObserver* obs) noexcept {
+    std::erase(observers_, obs);
+  }
+
+  /// Legacy single-observer hook: detach everything, then attach `obs`
+  /// (nullptr = detach all).
+  void set_observer(AccessObserver* obs) {
+    observers_.clear();
+    add_observer(obs);
+  }
 
  private:
   std::uint64_t access_line(topo::ProcId proc, LineAddr line,
-                            std::uint64_t addr, bool is_write,
+                            std::uint64_t addr, std::uint64_t lo,
+                            std::uint64_t hi, bool is_write,
                             std::uint64_t now);
   /// Handle an L2 victim: maintain inclusion and directory state.
   void evict_line(topo::ProcId proc, LineAddr victim);
@@ -112,7 +127,7 @@ class MemorySystem {
     std::uint64_t backlog = 0;  ///< Cycles of queued service.
   };
   std::vector<Controller> controllers_;  ///< Per cluster.
-  AccessObserver* observer_ = nullptr;   ///< Passive tap; null when detached.
+  std::vector<AccessObserver*> observers_;  ///< Passive taps, in attach order.
 };
 
 }  // namespace cool::mem

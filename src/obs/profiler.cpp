@@ -36,37 +36,18 @@ LocalityProfiler::LocalityProfiler(const topo::MachineConfig& machine)
 bool LocalityProfiler::register_object(std::string name, std::uint64_t addr,
                                        std::uint64_t bytes,
                                        topo::ProcId home) {
-  if (bytes == 0) return false;
-  Registered r;
-  r.name = std::move(name);
-  r.start = addr;
-  r.end = addr + bytes;
-  r.home = home;
-  // Sorted insert; overlapping ranges are ignored (first registration wins)
-  // so an accidental alias cannot double-count an access.
-  auto it = std::lower_bound(
-      reg_.begin(), reg_.end(), r.start,
-      [](const Registered& a, std::uint64_t s) { return a.start < s; });
-  if (it != reg_.end() && it->start < r.end) return false;
-  if (it != reg_.begin() && std::prev(it)->end > r.start) return false;
-  reg_.insert(it, std::move(r));
-  return true;
+  return reg_.add(std::move(name), addr, bytes, home);
 }
 
 std::uint64_t LocalityProfiler::resolve(Shard& sh, std::uint64_t addr) const {
   if (sh.last_obj < reg_.size()) {
-    const Registered& r = reg_[sh.last_obj];
+    const ObjectRegistry::Entry& r = reg_.entry(sh.last_obj);
     if (addr >= r.start && addr < r.end) return sh.last_obj;
   }
-  auto it = std::upper_bound(
-      reg_.begin(), reg_.end(), addr,
-      [](std::uint64_t a, const Registered& r) { return a < r.start; });
-  if (it != reg_.begin()) {
-    const auto idx = static_cast<std::size_t>(std::prev(it) - reg_.begin());
-    if (addr < reg_[idx].end) {
-      sh.last_obj = idx;
-      return idx;
-    }
+  const std::size_t idx = reg_.find(addr);
+  if (idx != ObjectRegistry::npos) {
+    sh.last_obj = idx;
+    return idx;
   }
   return kAnonBit | (addr >> kAnonShift);
 }
@@ -133,7 +114,8 @@ ProfileSnapshot LocalityProfiler::snapshot() const {
   p.n_clusters = machine_.n_clusters();
 
   p.objects.reserve(reg_.size());
-  for (const Registered& r : reg_) {
+  for (std::size_t i = 0; i < reg_.size(); ++i) {
+    const ObjectRegistry::Entry& r = reg_.entry(i);
     ProfileSnapshot::ObjectRow row;
     row.name = r.name;
     row.addr = r.start;
@@ -201,21 +183,7 @@ ProfileSnapshot LocalityProfiler::snapshot() const {
   p.sets.reserve(sets.size());
   for (auto& [key, sr] : sets) {
     // Label the set by the registered object its key falls in, if any.
-    Shard scratch;
-    const std::uint64_t id = resolve(scratch, key);
-    char buf[48];
-    if ((id & kAnonBit) == 0) {
-      const Registered& r = reg_[id];
-      if (key == r.start) {
-        sr.label = r.name;
-      } else {
-        std::snprintf(buf, sizeof buf, "+0x%" PRIx64, key - r.start);
-        sr.label = r.name + buf;
-      }
-    } else {
-      std::snprintf(buf, sizeof buf, "0x%" PRIx64, key);
-      sr.label = buf;
-    }
+    sr.label = reg_.label(key);
     p.sets.push_back(std::move(sr));
   }
   std::stable_sort(p.sets.begin(), p.sets.end(),

@@ -30,6 +30,7 @@
 
 #include "common/stats.hpp"
 #include "memsim/access_observer.hpp"
+#include "obs/object_registry.hpp"
 #include "topology/machine.hpp"
 
 namespace cool::obs {
@@ -180,13 +181,6 @@ class LocalityProfiler final : public mem::AccessObserver {
   static constexpr std::uint64_t kAnonShift = 20;
   static constexpr std::uint64_t kAnonBit = 1ull << 63;
 
-  struct Registered {
-    std::string name;
-    std::uint64_t start = 0;
-    std::uint64_t end = 0;  ///< Exclusive.
-    topo::ProcId home = 0;
-  };
-
   struct ObjStats {
     AccessStats s;
     /// Misses by servicing home cluster (sized on first miss). The issuing
@@ -222,7 +216,7 @@ class LocalityProfiler final : public mem::AccessObserver {
   ObjStats& obj_stats(Shard& sh, std::uint64_t addr);
 
   topo::MachineConfig machine_;
-  std::vector<Registered> reg_;  ///< Sorted by start address.
+  ObjectRegistry reg_;
   mutable util::Sharded<Shard> shards_;
 };
 

@@ -31,6 +31,7 @@ void ServerQueues::push_locked(TaskDesc* t) {
   } else {
     object_q_.push_back(t);
   }
+  ++pushed_;
   const std::size_t n = size_.load(std::memory_order_relaxed) + 1;
   size_.store(n, std::memory_order_relaxed);
   if (n > max_depth_.load(std::memory_order_relaxed)) {
@@ -41,17 +42,20 @@ void ServerQueues::push_locked(TaskDesc* t) {
 void ServerQueues::push(TaskDesc* t) {
   std::lock_guard g(mu_);
   push_locked(t);
+  maybe_check_locked();
 }
 
 void ServerQueues::push_resumed(TaskDesc* t) {
   COOL_DCHECK(t != nullptr, "null task");
   std::lock_guard g(mu_);
   object_q_.push_front(t);
+  ++pushed_;
   const std::size_t n = size_.load(std::memory_order_relaxed) + 1;
   size_.store(n, std::memory_order_relaxed);
   if (n > max_depth_.load(std::memory_order_relaxed)) {
     max_depth_.store(n, std::memory_order_relaxed);
   }
+  maybe_check_locked();
 }
 
 TaskDesc* ServerQueues::pop_locked() {
@@ -60,6 +64,7 @@ TaskDesc* ServerQueues::pop_locked() {
   if (active_ != nullptr && !active_->tasks.empty()) {
     TaskDesc* t = active_->tasks.pop_front();
     on_slot_pop(*active_);
+    ++popped_;
     size_.fetch_sub(1, std::memory_order_relaxed);
     return t;
   }
@@ -68,10 +73,12 @@ TaskDesc* ServerQueues::pop_locked() {
     active_ = slot;
     TaskDesc* t = slot->tasks.pop_front();
     on_slot_pop(*slot);
+    ++popped_;
     size_.fetch_sub(1, std::memory_order_relaxed);
     return t;
   }
   if (TaskDesc* t = object_q_.pop_front()) {
+    ++popped_;
     size_.fetch_sub(1, std::memory_order_relaxed);
     return t;
   }
@@ -80,7 +87,9 @@ TaskDesc* ServerQueues::pop_locked() {
 
 TaskDesc* ServerQueues::pop() {
   std::lock_guard g(mu_);
-  return pop_locked();
+  TaskDesc* t = pop_locked();
+  maybe_check_locked();
+  return t;
 }
 
 std::vector<TaskDesc*> ServerQueues::steal_set_locked(bool allow_pinned) {
@@ -112,6 +121,7 @@ std::vector<TaskDesc*> ServerQueues::steal_set_locked(bool allow_pinned) {
   while (TaskDesc* t = victim->tasks.pop_front()) {
     t->stolen = true;
     set.push_back(t);
+    ++popped_;
     size_.fetch_sub(1, std::memory_order_relaxed);
   }
   on_slot_pop(*victim);
@@ -120,7 +130,9 @@ std::vector<TaskDesc*> ServerQueues::steal_set_locked(bool allow_pinned) {
 
 std::vector<TaskDesc*> ServerQueues::steal_set(bool allow_pinned) {
   std::lock_guard g(mu_);
-  return steal_set_locked(allow_pinned);
+  std::vector<TaskDesc*> set = steal_set_locked(allow_pinned);
+  maybe_check_locked();
+  return set;
 }
 
 TrySteal ServerQueues::try_steal_set(std::vector<TaskDesc*>& out,
@@ -128,6 +140,7 @@ TrySteal ServerQueues::try_steal_set(std::vector<TaskDesc*>& out,
   std::unique_lock l(mu_, std::try_to_lock);
   if (!l.owns_lock()) return TrySteal::kBusy;
   out = steal_set_locked(allow_pinned);
+  maybe_check_locked();
   return out.empty() ? TrySteal::kEmpty : TrySteal::kGot;
 }
 
@@ -144,6 +157,7 @@ TaskDesc* ServerQueues::steal_object_task_locked(bool allow_pinned) {
   }
   if (t != nullptr) {
     t->stolen = true;
+    ++popped_;
     size_.fetch_sub(1, std::memory_order_relaxed);
   }
   return t;
@@ -151,7 +165,9 @@ TaskDesc* ServerQueues::steal_object_task_locked(bool allow_pinned) {
 
 TaskDesc* ServerQueues::steal_object_task(bool allow_pinned) {
   std::lock_guard g(mu_);
-  return steal_object_task_locked(allow_pinned);
+  TaskDesc* t = steal_object_task_locked(allow_pinned);
+  maybe_check_locked();
+  return t;
 }
 
 TrySteal ServerQueues::try_steal_object_task(TaskDesc*& out,
@@ -159,6 +175,7 @@ TrySteal ServerQueues::try_steal_object_task(TaskDesc*& out,
   std::unique_lock l(mu_, std::try_to_lock);
   if (!l.owns_lock()) return TrySteal::kBusy;
   out = steal_object_task_locked(allow_pinned);
+  maybe_check_locked();
   return out != nullptr ? TrySteal::kGot : TrySteal::kEmpty;
 }
 
@@ -169,6 +186,7 @@ void ServerQueues::adopt(const std::vector<TaskDesc*>& set,
     t->server = new_server;
     push_locked(t);
   }
+  maybe_check_locked();
 }
 
 TaskDesc* ServerQueues::adopt_and_pop(const std::vector<TaskDesc*>& set,
@@ -178,7 +196,9 @@ TaskDesc* ServerQueues::adopt_and_pop(const std::vector<TaskDesc*>& set,
     t->server = new_server;
     push_locked(t);
   }
-  return pop_locked();
+  TaskDesc* t = pop_locked();
+  maybe_check_locked();
+  return t;
 }
 
 std::size_t ServerQueues::n_nonempty_affinity_queues() const {
@@ -189,6 +209,76 @@ std::size_t ServerQueues::n_nonempty_affinity_queues() const {
 std::size_t ServerQueues::object_queue_size() const {
   std::lock_guard g(mu_);
   return object_q_.size();
+}
+
+// --- Invariant checking ------------------------------------------------------
+
+void ServerQueues::check_locked() const {
+  std::size_t in_slots = 0;
+  std::size_t nonempty_count = 0;
+  bool active_in_range = active_ == nullptr;
+  for (const AffSlot& s : slots_) {
+    const std::size_t n = s.tasks.size();
+    COOL_CHECK(s.hook.is_linked() == (n != 0),
+               "invariant: slot on the non-empty list iff it holds tasks");
+    if (&s == active_) active_in_range = true;
+    if (n == 0) continue;
+    ++nonempty_count;
+    in_slots += n;
+    const auto idx = static_cast<std::size_t>(&s - slots_.data());
+    for (const TaskDesc* t : s.tasks) {
+      COOL_CHECK(t->aff.has_task(),
+                 "invariant: affinity-slot task without TASK affinity");
+      COOL_CHECK(slot_of(t->aff_key) == idx,
+                 "invariant: task hashed into the wrong affinity slot");
+      COOL_CHECK(owner_ == kNoOwner || t->server == owner_,
+                 "invariant: queued task's server is not the queue owner");
+    }
+  }
+  COOL_CHECK(active_in_range,
+             "invariant: active set pointer outside the slot array");
+  COOL_CHECK(active_ == nullptr || !active_->tasks.empty(),
+             "invariant: active set pointer left on a drained slot");
+  COOL_CHECK(nonempty_.size() == nonempty_count,
+             "invariant: non-empty list out of sync with slot contents");
+  for (const AffSlot* s : nonempty_) {
+    COOL_CHECK(!s->tasks.empty(), "invariant: empty slot on non-empty list");
+  }
+  for (const TaskDesc* t : object_q_) {
+    COOL_CHECK(owner_ == kNoOwner || t->server == owner_,
+               "invariant: queued task's server is not the queue owner");
+  }
+  const std::size_t total = in_slots + object_q_.size();
+  COOL_CHECK(size_.load(std::memory_order_relaxed) == total,
+             "invariant: size counter out of sync with queue contents");
+  COOL_CHECK(pushed_ - popped_ == total,
+             "invariant: enqueue/dequeue ledger does not balance");
+  COOL_CHECK(max_depth_.load(std::memory_order_relaxed) >= total,
+             "invariant: high-water mark below the current depth");
+}
+
+void ServerQueues::validate() const {
+  std::lock_guard g(mu_);
+  check_locked();
+}
+
+void ServerQueues::for_each_task(
+    const std::function<void(const TaskDesc*)>& fn) const {
+  std::lock_guard g(mu_);
+  for (const AffSlot& s : slots_) {
+    for (const TaskDesc* t : s.tasks) fn(t);
+  }
+  for (const TaskDesc* t : object_q_) fn(t);
+}
+
+std::uint64_t ServerQueues::pushed() const {
+  std::lock_guard g(mu_);
+  return pushed_;
+}
+
+std::uint64_t ServerQueues::popped() const {
+  std::lock_guard g(mu_);
+  return popped_;
 }
 
 }  // namespace cool::sched

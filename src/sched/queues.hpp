@@ -22,9 +22,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/intrusive_list.hpp"
 #include "sched/task.hpp"
 
@@ -114,6 +116,32 @@ class ServerQueues {
     return max_depth_.load(std::memory_order_relaxed);
   }
 
+  // --- Invariant checking (analysis/invariants.hpp drives these) ------------
+
+  /// "No owner recorded" sentinel for the owner invariant.
+  static constexpr topo::ProcId kNoOwner = static_cast<topo::ProcId>(~0u);
+
+  /// Record which server these queues belong to; once set, every queued
+  /// task's `server` field must name this processor.
+  void set_owner(topo::ProcId p) noexcept { owner_ = p; }
+  [[nodiscard]] topo::ProcId owner() const noexcept { return owner_; }
+
+  /// Validate every structural invariant (throws util::Error on violation):
+  /// the non-empty list covers exactly the slots holding tasks, slot tasks
+  /// hash to their slot and carry TASK affinity, the active pointer is sane,
+  /// the size counter and push/pop ledger balance the actual contents, and
+  /// every queued task names this server. Safe to call concurrently with
+  /// queue operations (takes the queue lock).
+  void validate() const;
+
+  /// Visit every queued task under the queue lock (affinity slots in index
+  /// order, then the object queue).
+  void for_each_task(const std::function<void(const TaskDesc*)>& fn) const;
+
+  /// Lifetime enqueue/dequeue ledger (pushed - popped == size).
+  [[nodiscard]] std::uint64_t pushed() const;
+  [[nodiscard]] std::uint64_t popped() const;
+
  private:
   struct AffSlot {
     TaskList tasks;
@@ -126,12 +154,22 @@ class ServerQueues {
   TaskDesc* pop_locked();
   std::vector<TaskDesc*> steal_set_locked(bool allow_pinned);
   TaskDesc* steal_object_task_locked(bool allow_pinned);
+  void check_locked() const;
+  /// Paranoid mode: re-validate after every mutation, while still holding
+  /// the lock the mutation ran under.
+  void maybe_check_locked() const {
+    if (util::check_level() == util::CheckLevel::kParanoid) check_locked();
+  }
 
   mutable std::mutex mu_;  ///< Guards every queue structure below.
   TaskList object_q_;
   std::vector<AffSlot> slots_;
   util::IntrusiveList<AffSlot, &AffSlot::hook> nonempty_;
   AffSlot* active_ = nullptr;  ///< Affinity set currently being drained.
+  topo::ProcId owner_ = kNoOwner;
+  /// Lifetime ledger, maintained under mu_: conservation check fodder.
+  std::uint64_t pushed_ = 0;
+  std::uint64_t popped_ = 0;
   /// Task count, maintained under mu_ but readable without it so victim
   /// scans and emptiness checks never touch the lock.
   std::atomic<std::size_t> size_{0};

@@ -1,5 +1,6 @@
 #include "sched/scheduler.hpp"
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 
 namespace cool::sched {
@@ -15,8 +16,26 @@ Scheduler::Scheduler(const topo::MachineConfig& machine, Policy policy,
   COOL_CHECK(policy_.affinity_array_size >= 1, "affinity array size must be >= 1");
   for (std::uint32_t p = 0; p < machine_.n_procs; ++p) {
     queues_.emplace_back(policy_.affinity_array_size);
+    queues_.back().set_owner(static_cast<topo::ProcId>(p));
     gates_.emplace_back();
   }
+}
+
+void Scheduler::check_queues() const {
+  for (const ServerQueues& q : queues_) q.validate();
+  // The version counter only ever fetch_add(1)s, so any previously observed
+  // value is a valid floor. CAS-max the floor forward, then assert the
+  // current read is not below it.
+  const std::uint64_t wv = work_version_.load();
+  std::uint64_t floor = wv_floor_.load();
+  COOL_CHECK(wv >= floor, "invariant: work version moved backwards");
+  while (floor < wv && !wv_floor_.compare_exchange_weak(floor, wv)) {
+  }
+}
+
+void Scheduler::for_each_queued(
+    const std::function<void(const TaskDesc*)>& fn) const {
+  for (const ServerQueues& q : queues_) q.for_each_task(fn);
 }
 
 void Scheduler::attach_obs(obs::Registry& reg) {
@@ -46,11 +65,23 @@ void Scheduler::wake_gate(IdleGate& g) {
   g.cv.notify_all();
 }
 
+void Scheduler::bump_version() {
+  const std::uint64_t next = work_version_.fetch_add(1) + 1;
+  if (util::check_level() == util::CheckLevel::kParanoid) {
+    // Raise the monotonicity floor to the value this bump produced; no
+    // assertion here (another thread's later bump may already have raised the
+    // floor past ours), check_queues() owns the assert.
+    std::uint64_t floor = wv_floor_.load();
+    while (floor < next && !wv_floor_.compare_exchange_weak(floor, next)) {
+    }
+  }
+}
+
 void Scheduler::signal_work(topo::ProcId server) {
   // Seq-cst Dekker pairing with wait_for_work: the version bump and the
   // sleeping-flag reads here, against the sleeping-flag store and version
   // read in the waiter, cannot both miss each other.
-  work_version_.fetch_add(1);
+  bump_version();
   IdleGate& home_gate = gates_[server];
   if (home_gate.sleeping.load()) {
     wake_gate(home_gate);
@@ -69,7 +100,7 @@ void Scheduler::signal_work(topo::ProcId server) {
 }
 
 void Scheduler::notify_all_waiters() {
-  work_version_.fetch_add(1);
+  bump_version();
   for (IdleGate& g : gates_) wake_gate(g);
 }
 

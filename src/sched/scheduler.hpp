@@ -170,6 +170,16 @@ class Scheduler {
   [[nodiscard]] const ServerQueues& queues(topo::ProcId p) const {
     return queues_.at(p);
   }
+
+  /// Validate every per-queue structural invariant plus the idle-protocol
+  /// monotonicity of the work version (it may only move forward). Safe to
+  /// call concurrently with scheduling; throws util::Error on violation.
+  void check_queues() const;
+
+  /// Visit every currently-queued task across all servers (each queue's lock
+  /// is held only while that queue is walked).
+  void for_each_queued(const std::function<void(const TaskDesc*)>& fn) const;
+
   [[nodiscard]] const Policy& policy() const noexcept { return policy_; }
   [[nodiscard]] const topo::MachineConfig& machine() const noexcept {
     return machine_;
@@ -214,6 +224,9 @@ class Scheduler {
   void note_run(topo::ProcId proc, std::uint64_t key);
 
   TaskDesc* try_steal(topo::ProcId thief, topo::ProcId victim, bool& busy);
+  /// Increment the work version; under paranoid checking also advance the
+  /// monotonicity floor.
+  void bump_version();
   /// Bump the work version and wake `server`'s worker if it sleeps, else the
   /// next sleeping worker (any idle processor may steal the new task).
   void signal_work(topo::ProcId server);
@@ -226,6 +239,10 @@ class Scheduler {
   util::Sharded<StatShard> stats_;   // per-server shards, summed on read
   std::deque<IdleGate> gates_;       // deque: IdleGate is not movable
   std::atomic<std::uint64_t> work_version_{0};
+  /// Monotonicity floor for the work version, advanced (CAS-max) after each
+  /// bump under paranoid checking; check_queues() asserts the version never
+  /// reads below it.
+  mutable std::atomic<std::uint64_t> wv_floor_{0};
   std::atomic<std::uint64_t> rr_next_{0};  ///< Base-mode round-robin cursor.
 
   // Optional obs instrumentation (detached no-ops until attach_obs()).

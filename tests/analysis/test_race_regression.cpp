@@ -1,0 +1,99 @@
+// End-to-end race-check regression: the seeded-race synthetic app must be
+// flagged (with correct object and hint attribution) on every run, its
+// mutex-guarded twin must be clean, and the real paper apps must be
+// race-free under the detector.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/race_detector.hpp"
+#include "apps/gauss/gauss.hpp"
+#include "apps/ocean/ocean.hpp"
+#include "apps/synth/unsync.hpp"
+
+namespace cool {
+namespace {
+
+Runtime make_rt(std::uint32_t procs, const sched::Policy& policy,
+                bool race_check) {
+  SystemConfig sc;
+  sc.machine = topo::MachineConfig::dash(procs);
+  sc.policy = policy;
+  sc.race_check = race_check;
+  return Runtime(sc);
+}
+
+TEST(RaceRegression, SeededRaceIsFlaggedWithAttribution) {
+  Runtime rt = make_rt(8, sched::Policy{}, true);
+  apps::unsync::Config cfg;  // synchronized_run = false: the seeded race
+  const apps::unsync::Result r = apps::unsync::run(rt, cfg);
+  const analysis::RaceDetector* rd = rt.race_detector();
+  ASSERT_NE(rd, nullptr);
+  ASSERT_GE(r.run.races, 1u);
+  EXPECT_EQ(r.run.races, rd->total());
+  // The race is on the registered accumulator, and the workers carry a TASK
+  // hint on it — both must show up in the report.
+  bool on_acc = false;
+  for (const analysis::RaceReport& rep : rd->races()) {
+    if (rep.object == "acc") {
+      on_acc = true;
+      EXPECT_NE(rep.cur_desc.find("task#"), std::string::npos);
+      EXPECT_NE(rep.cur_desc.find("@ acc"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(on_acc);
+  const std::string text = rd->report();
+  EXPECT_NE(text.find("on acc"), std::string::npos);
+}
+
+TEST(RaceRegression, SeededRaceIsDeterministic) {
+  apps::unsync::Config cfg;
+  Runtime a = make_rt(8, sched::Policy{}, true);
+  const apps::unsync::Result ra = apps::unsync::run(a, cfg);
+  Runtime b = make_rt(8, sched::Policy{}, true);
+  const apps::unsync::Result rb = apps::unsync::run(b, cfg);
+  EXPECT_EQ(ra.run.races, rb.run.races);
+  EXPECT_EQ(a.race_detector()->report(), b.race_detector()->report());
+}
+
+TEST(RaceRegression, SynchronizedTwinIsClean) {
+  apps::unsync::Config cfg;
+  cfg.synchronized_run = true;  // identical traffic, folded under a Mutex
+  Runtime rt = make_rt(8, sched::Policy{}, true);
+  const apps::unsync::Result r = apps::unsync::run(rt, cfg);
+  EXPECT_EQ(r.run.races, 0u);
+  EXPECT_NE(rt.race_detector()->report().find("no races detected"),
+            std::string::npos);
+}
+
+TEST(RaceRegression, DetectorOffByDefault) {
+  Runtime rt = make_rt(8, sched::Policy{}, false);
+  apps::unsync::Config cfg;
+  const apps::unsync::Result r = apps::unsync::run(rt, cfg);
+  EXPECT_EQ(rt.race_detector(), nullptr);
+  EXPECT_EQ(r.run.races, 0u);
+}
+
+TEST(RaceRegression, GaussIsRaceFree) {
+  apps::gauss::Config cfg;
+  cfg.n = 48;
+  cfg.variant = apps::gauss::Variant::kTaskObject;
+  Runtime rt = make_rt(8, apps::gauss::policy_for(cfg.variant), true);
+  const apps::gauss::Result r = apps::gauss::run(rt, cfg);
+  EXPECT_LT(r.residual, 1e-8);
+  EXPECT_EQ(r.run.races, 0u) << rt.race_detector()->report();
+}
+
+TEST(RaceRegression, OceanIsRaceFree) {
+  apps::ocean::Config cfg;
+  cfg.n = 32;
+  cfg.grids = 3;
+  cfg.steps = 2;
+  cfg.variant = apps::ocean::Variant::kDistr;
+  Runtime rt = make_rt(8, apps::ocean::policy_for(cfg.variant), true);
+  const apps::ocean::Result r = apps::ocean::run(rt, cfg);
+  EXPECT_EQ(r.run.races, 0u) << rt.race_detector()->report();
+}
+
+}  // namespace
+}  // namespace cool

@@ -228,6 +228,65 @@ TEST(Sync, CondBroadcastWakesEveryone) {
   for (int v : passed) EXPECT_EQ(v, 1);
 }
 
+TEST(Sync, LockGuardDoubleReleaseIsNoOp) {
+  // unlock() hands the mutex back; the guard's destructor must then do
+  // nothing (the non-owning destructor path is what move-from relies on).
+  Runtime rt(sim_cfg(1));
+  Mutex mu;
+  bool reacquired = false;
+  rt.run([](Mutex* m, bool* ok) -> TaskFn {
+    auto& c = co_await self();
+    {
+      auto g = co_await c.lock(*m);
+      g.unlock();
+      // Guard destructs here while not owning: must not unlock again.
+    }
+    // The mutex is free and immediately reacquirable.
+    auto g2 = co_await c.lock(*m);
+    *ok = m->locked();
+  }(&mu, &reacquired));
+  EXPECT_TRUE(reacquired);
+  EXPECT_FALSE(mu.locked());
+}
+
+TEST(Sync, SignalWithNoWaitersIsNoOp) {
+  // A signal (and broadcast) on a waiter-less Cond must be lost, per the
+  // monitor contract — a later wait does not consume it.
+  Runtime rt(sim_cfg(2));
+  struct State {
+    Mutex mu;
+    Cond cv;
+    bool posted = false;
+  } st;
+  bool woke_for_real = false;
+  rt.run([](State* s, bool* ok) -> TaskFn {
+    auto& c = co_await self();
+    {
+      auto g = co_await c.lock(s->mu);
+      s->cv.signal(c);     // no waiters: dropped
+      s->cv.broadcast(c);  // likewise
+    }
+    TaskGroup waitfor;
+    c.spawn(Affinity::none(), waitfor, [](State* ss, bool* o) -> TaskFn {
+      auto& cc = co_await self();
+      auto g = co_await cc.lock(ss->mu);
+      // Must block despite the earlier signals, until `posted` is set.
+      while (!ss->posted) co_await cc.wait(ss->cv, ss->mu);
+      *o = true;
+    }(s, ok));
+    c.spawn(Affinity::none(), waitfor, [](State* ss) -> TaskFn {
+      auto& cc = co_await self();
+      cc.work(50000);  // let the waiter block first
+      auto g = co_await cc.lock(ss->mu);
+      ss->posted = true;
+      ss->cv.signal(cc);
+    }(s));
+    co_await c.wait(waitfor);
+  }(&st, &woke_for_real));
+  EXPECT_TRUE(woke_for_real);
+  EXPECT_TRUE(st.posted);
+}
+
 TEST(Sync, CondWaitWithoutMutexThrows) {
   Runtime rt(sim_cfg(1));
   Mutex mu;

@@ -149,8 +149,10 @@ TEST(Snapshot, DiffSubtractsHistogramBuckets) {
   EXPECT_EQ(d.quantile(0.5), 128u);   // Window-only: all samples in [64,128).
   EXPECT_EQ(d.quantile(1.0), 128u);
 
-  // The undiffed snapshot still sees the full population.
-  const HistData& full = reg.snapshot().hists.at("lat");
+  // The undiffed snapshot still sees the full population. (Keep the
+  // snapshot alive: binding a reference into the temporary would dangle.)
+  const Snapshot now = reg.snapshot();
+  const HistData& full = now.hists.at("lat");
   EXPECT_EQ(full.count, 1010u);
   EXPECT_EQ(full.quantile(0.5), 4u);
 }

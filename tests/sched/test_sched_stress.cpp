@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/check.hpp"
+
 namespace cool::sched {
 namespace {
 
@@ -216,6 +218,69 @@ TEST(SchedStress, ConcurrentStealingKeepsSetsBackToBack) {
   const SchedStats ss = s.stats();
   EXPECT_LE(runs, kSets + ss.set_steals)
       << "affinity sets interleaved beyond what whole-set steals explain";
+}
+
+// The full producer/consumer/steal mix again, but with per-mutation
+// invariant checking switched on: every push, pop, steal, and adopt
+// re-validates its queue while still holding the mutation's lock. This is
+// the COOL_CHECK_LEVEL=paranoid contract — slower, but any structural
+// corruption surfaces at the exact mutation that caused it.
+TEST(SchedStress, ParanoidCheckingSurvivesConcurrentChurn) {
+  util::ScopedCheckLevel lvl(util::CheckLevel::kParanoid);
+  constexpr std::uint32_t kProcs = 4;
+  constexpr std::size_t kProducers = 2;
+  constexpr std::size_t kPerProducer = 500;
+  constexpr std::size_t kTotal = kProducers * kPerProducer;
+
+  const topo::MachineConfig machine = topo::MachineConfig::dash(kProcs);
+  Policy pol;
+  pol.steal_object_tasks = true;
+  Scheduler s(machine, pol, [&](std::uint64_t a, topo::ProcId) {
+    return flat_home(a, kProcs);
+  });
+
+  std::vector<TaskDesc> tasks(kTotal);
+  std::vector<std::atomic<int>> seen(kTotal);
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    tasks[i].seq = i;
+    const std::uint64_t obj = 0x100000ull + (i % 8) * 4096;
+    switch (i % 4) {
+      case 0:
+        tasks[i].aff = Affinity::task(reinterpret_cast<void*>(obj));
+        break;
+      case 1:
+        tasks[i].aff = Affinity::object(reinterpret_cast<void*>(obj));
+        break;
+      default:
+        tasks[i].aff = Affinity::none();
+        break;
+    }
+  }
+
+  std::atomic<std::size_t> acquired{0};
+  std::vector<std::vector<LogEntry>> logs(kProcs);
+  std::vector<std::thread> threads;
+  for (std::size_t pr = 0; pr < kProducers; ++pr) {
+    threads.emplace_back([&, pr] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        s.place(&tasks[pr * kPerProducer + i],
+                static_cast<topo::ProcId>(pr % kProcs));
+      }
+    });
+  }
+  for (std::uint32_t p = 0; p < kProcs; ++p) {
+    threads.emplace_back([&, p] {
+      consume(s, static_cast<topo::ProcId>(p), acquired, kTotal, seen,
+              logs[p]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    EXPECT_EQ(seen[i].load(), 1) << "task " << i << " lost or duplicated";
+  }
+  s.check_queues();
+  EXPECT_FALSE(s.any_work());
 }
 
 // The idle protocol: a worker sleeping in wait_for_work wakes when work is

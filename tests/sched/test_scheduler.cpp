@@ -87,10 +87,10 @@ TEST_F(SchedulerTest, BaseModeIgnoresHintsRoundRobin) {
   auto s = make(p);
   home_.fixed[0x10000] = 17;
   std::vector<topo::ProcId> servers;
-  for (int i = 0; i < 4; ++i) {
-    auto* t = new TaskDesc;
-    t->aff = Affinity::object(reinterpret_cast<void*>(0x10008));
-    servers.push_back(s.place(t, 0));
+  std::vector<TaskDesc> tasks(4);
+  for (TaskDesc& t : tasks) {
+    t.aff = Affinity::object(reinterpret_cast<void*>(0x10008));
+    servers.push_back(s.place(&t, 0));
   }
   EXPECT_EQ(servers, (std::vector<topo::ProcId>{0, 1, 2, 3}));
   EXPECT_EQ(s.stats().placed_round_robin, 4u);
