@@ -29,12 +29,14 @@ int main(int argc, char** argv) {
     const char* name;
     sched::Policy pol;
   };
-  sched::Policy base = panel_policy_for(PanelVariant::kDistrAff);
+  sched::Policy base = panel_policy_for(PanelVariant::kDistrAff, procs);
 
   std::vector<Row> rows;
   {
     Row r{"no stealing", base};
     r.pol.steal_enabled = false;
+    r.pol.steal_whole_sets = false;  // validate_policy: steal flags need
+                                     // steal_enabled.
     rows.push_back(r);
   }
   rows.push_back({"default (unpinned only)", base});
@@ -51,7 +53,7 @@ int main(int argc, char** argv) {
     r.pol.cluster_first = true;
     rows.push_back(r);
   }
-  {
+  if (topo::MachineConfig::dash(procs).n_clusters() > 1) {
     Row r{"steal pinned, cluster-only", base};
     r.pol.steal_object_tasks = true;
     r.pol.steal_pinned_sets = true;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "adaptive/policy.hpp"
 #include "apps/common/harness.hpp"
 #include "common/options.hpp"
 #include "common/table.hpp"
@@ -40,9 +41,9 @@ inline Runtime make_runtime(std::uint32_t procs, const sched::Policy& policy) {
   return Runtime(sc);
 }
 
-/// As above, honouring the bench's --profile and --race-check requests.
-/// Benches build their headline (largest-P, most-interesting-variant) runtime
-/// through this so both flags work on every figure for free.
+/// As above, honouring the bench's --profile, --race-check and --adapt
+/// requests. Benches build their headline (largest-P, most-interesting-
+/// variant) runtime through this so the flags work on every figure for free.
 inline Runtime make_runtime(std::uint32_t procs, const sched::Policy& policy,
                             const util::Options& opt) {
   SystemConfig sc;
@@ -50,6 +51,11 @@ inline Runtime make_runtime(std::uint32_t procs, const sched::Policy& policy,
   sc.policy = policy;
   sc.profile = opt.given("profile");
   sc.race_check = opt.flag("race-check");
+  sc.adapt = opt.given("adapt");
+  const std::string& pol_path = opt.get_string("adapt");
+  if (!pol_path.empty()) {
+    sc.adapt_policy = adaptive::load_adapt_policy(pol_path);
+  }
   return Runtime(sc);
 }
 
@@ -73,6 +79,11 @@ inline util::Options standard_options(const std::string& name,
                "attach the happens-before race detector to the headline run; "
                "text mode appends the race report, json mode records the "
                "count (passive: simulated cycles are unchanged)");
+  opt.add_optional_string(
+      "adapt",
+      "attach the online adaptive locality runtime to the headline run "
+      "(sim only; unlike --profile it charges simulated cycles). "
+      "--adapt=<policy.json> overrides the adaptation knobs");
   return opt;
 }
 
@@ -181,9 +192,37 @@ class Report {
     }
   }
 
+  /// Attach the adaptation decision log of `rt`'s finished run: text mode
+  /// prints one line per decision, json mode embeds the "adaptation" array.
+  /// No-op unless the runtime was built with adapt on.
+  void adaptation_from(Runtime& rt) {
+    const adaptive::AdaptiveEngine* ae = rt.adaptive_engine();
+    if (ae == nullptr) return;
+    if (json_) {
+      rec_.set_adaptation(ae->log_json());
+      rec_.add_shape("adaptation_decisions",
+                     static_cast<double>(ae->log().size()));
+    } else {
+      std::printf("\n== adaptation log (%zu decisions, %llu epochs) ==\n",
+                  ae->log().size(),
+                  static_cast<unsigned long long>(ae->epochs()));
+      for (const adaptive::Decision& d : ae->log()) {
+        std::printf("  epoch %llu @%llu [%s] %s: %s (%llu cycles)\n",
+                    static_cast<unsigned long long>(d.epoch),
+                    static_cast<unsigned long long>(d.cycle),
+                    cool::obs::advice_kind_name(d.rule), d.subject.c_str(),
+                    d.action.c_str(),
+                    static_cast<unsigned long long>(d.cost_cycles));
+      }
+    }
+  }
+
   void profile_from(Runtime& rt) {
     race_from(rt);
-    if (rt.profiler() == nullptr) return;
+    adaptation_from(rt);
+    // --adapt constructs the profiler as its sensor; profile output stays
+    // strictly opt-in behind --profile itself.
+    if (rt.profiler() == nullptr || !opt_->given("profile")) return;
     const cool::obs::ProfileSnapshot p = rt.profile_snapshot();
     const std::vector<cool::obs::Advice> advice =
         cool::obs::advise(p, rt.obs_snapshot());

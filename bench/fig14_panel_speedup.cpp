@@ -21,8 +21,8 @@ PanelResult run_one(std::uint32_t procs, PanelVariant v, PanelConfig cfg,
                     const util::Options* opt = nullptr) {
   cfg.variant = v;
   Runtime rt = prof != nullptr && opt != nullptr
-                   ? bench::make_runtime(procs, panel_policy_for(v), *opt)
-                   : bench::make_runtime(procs, panel_policy_for(v));
+                   ? bench::make_runtime(procs, panel_policy_for(v, procs), *opt)
+                   : bench::make_runtime(procs, panel_policy_for(v, procs));
   PanelResult r = run_panel(rt, cfg);
   if (prof != nullptr) prof->profile_from(rt);
   return r;

@@ -36,8 +36,8 @@ int main(int argc, char** argv) {
     PanelConfig c = cfg;
     c.variant = v;
     Runtime rt = v == PanelVariant::kDistrAff
-                     ? bench::make_runtime(procs, panel_policy_for(v), opt)
-                     : bench::make_runtime(procs, panel_policy_for(v));
+                     ? bench::make_runtime(procs, panel_policy_for(v, procs), opt)
+                     : bench::make_runtime(procs, panel_policy_for(v, procs));
     const PanelResult r = run_panel(rt, c);
     bench::miss_row(t, panel_variant_name(v), r.run);
     if (v == PanelVariant::kBase) base_r = r.run;

@@ -15,7 +15,11 @@
 //       plus each obs-snapshot counter (steals, failed steal scans,
 //       remote-miss ratio, invalidations) that increased past it, and note
 //       config mismatches that make the comparison apples-to-oranges.
-//       Exits non-zero when any metric regressed past the threshold.
+//       Exits non-zero when any metric regressed past the threshold. With
+//       --fail-on-regression=PCT the exit status instead tracks only
+//       direction-aware regressions (a speedup shrinking, cycles or steal
+//       counters growing) beyond PCT — drift in the good direction still
+//       prints but passes.
 //
 // The bench binaries are expected next to the runner (the build drops
 // everything into build/bench/), overridable with --bin-dir.
@@ -46,7 +50,7 @@ struct Bench {
 
 // Quick args keep every bench under a few seconds while still exercising the
 // full pipeline (multiple processor counts, all variants).
-constexpr std::array<Bench, 16> kFleet{{
+constexpr std::array<Bench, 17> kFleet{{
     {"tab01_affinity_hints", "--procs=8 --objects=32 --obj-kb=16 --tasks-per-obj=4", ""},
     {"fig03_gauss_affinity", "--max-procs=8 --n=64", ""},
     {"fig06_ocean_speedup", "--max-procs=8 --n=64 --grids=2 --steps=2", ""},
@@ -62,6 +66,7 @@ constexpr std::array<Bench, 16> kFleet{{
     {"abl_region_size", "--procs=8 --total-wires=512 --total-width=512", ""},
     {"abl_multi_object", "--procs=8 --pairs=16 --tasks-per-pair=2", ""},
     {"abl_latency_ratio", "--procs=8 --n=64 --grids=2 --steps=2", ""},
+    {"abl_adaptive", "--procs=8 --quick", ""},
     {"micro_sched_throughput", "--max-threads=4 --tasks=20000 --warmup=0", ""},
 }};
 
@@ -182,6 +187,26 @@ double rel_pct(double a, double b) {
   return 100.0 * (b - a) / std::fabs(a);
 }
 
+/// Which way a shape metric is supposed to move. `--compare` alone flags any
+/// change past the threshold (drift detection); `--fail-on-regression` only
+/// fails the run when a metric moved in its *bad* direction, which needs a
+/// per-metric notion of good. The fleet's shape names encode it: percentages
+/// and ratios named for a speedup/locality win are higher-better, counts of
+/// work (cycles, misses) are lower-better, and identity-like values (decision
+/// counts, a post-migrate home) have no direction at all.
+enum class Direction { kHigherBetter, kLowerBetter, kNeutral };
+
+Direction shape_direction(const std::string& name) {
+  for (const char* s : {"decisions", "home_after"}) {
+    if (name.find(s) != std::string::npos) return Direction::kNeutral;
+  }
+  for (const char* s :
+       {"local", "over", "recovered", "speedup", "improvement", "peak"}) {
+    if (name.find(s) != std::string::npos) return Direction::kHigherBetter;
+  }
+  return Direction::kLowerBetter;
+}
+
 /// Locality/scheduling counters worth diffing across runs, derived from the
 /// record's obs snapshot. Higher is worse for all of them, so --compare only
 /// flags increases. Returns false when the record carries no obs block.
@@ -206,9 +231,10 @@ bool obs_metrics(const Value& rec,
 }
 
 int compare_runs(const std::string& old_dir, const std::string& new_dir,
-                 double threshold) {
+                 double threshold, double fail_pct) {
   int compared = 0;
   int over = 0;
+  int regressed = 0;
   std::error_code ec;
   std::vector<fs::path> olds;
   for (const auto& e : fs::directory_iterator(old_dir, ec)) {
@@ -273,10 +299,18 @@ int compare_runs(const std::string& old_dir, const std::string& new_dir,
       if (vb == nullptr || !va.is_number() || !vb->is_number()) continue;
       const double d = rel_pct(va.num, vb->num);
       ++compared;
-      if (std::fabs(d) > threshold) {
-        std::printf("%-28s %-32s %12.4g -> %12.4g  (%+.1f%%)\n",
-                    bench.c_str(), k.c_str(), va.num, vb->num, d);
-        ++over;
+      bool reg = false;
+      if (fail_pct >= 0.0) {
+        const Direction dir = shape_direction(k);
+        reg = (dir == Direction::kHigherBetter && d < -fail_pct) ||
+              (dir == Direction::kLowerBetter && d > fail_pct);
+      }
+      if (std::fabs(d) > threshold || reg) {
+        std::printf("%-28s %-32s %12.4g -> %12.4g  (%+.1f%%)%s\n",
+                    bench.c_str(), k.c_str(), va.num, vb->num, d,
+                    reg ? "  REGRESSION" : "");
+        if (std::fabs(d) > threshold) ++over;
+        if (reg) ++regressed;
       }
     }
     // Scheduler/locality counters from the obs snapshot: a bench can hold
@@ -288,14 +322,25 @@ int compare_runs(const std::string& old_dir, const std::string& new_dir,
       for (std::size_t i = 0; i < ma.size(); ++i) {
         const double d = rel_pct(ma[i].second, mb[i].second);
         ++compared;
-        if (d > threshold) {
-          std::printf("%-28s %-32s %12.4g -> %12.4g  (%+.1f%%)\n",
+        // All obs counters are higher-is-worse, so an increase past either
+        // bar is flagged and (under --fail-on-regression) fails the run.
+        const bool reg = fail_pct >= 0.0 && d > fail_pct;
+        if (d > threshold || reg) {
+          std::printf("%-28s %-32s %12.4g -> %12.4g  (%+.1f%%)%s\n",
                       bench.c_str(), ma[i].first.c_str(), ma[i].second,
-                      mb[i].second, d);
-          ++over;
+                      mb[i].second, d, reg ? "  REGRESSION" : "");
+          if (d > threshold) ++over;
+          if (reg) ++regressed;
         }
       }
     }
+  }
+  if (fail_pct >= 0.0) {
+    std::printf(
+        "runner: compared %d metric(s), %d past the %.1f%% threshold, "
+        "%d regression(s) past %.1f%%\n",
+        compared, over, threshold, regressed, fail_pct);
+    return regressed == 0 ? 0 : 1;
   }
   std::printf(
       "runner: compared %d shape metric(s), %d past the %.1f%% threshold\n",
@@ -315,6 +360,9 @@ int main(int argc, char** argv) {
   opt.add_string("only", "", "run only benches whose name contains this");
   opt.add_string("bin-dir", "", "bench binary directory (default: argv[0]'s)");
   opt.add_double("threshold", 5.0, "compare: flag shape changes beyond this %");
+  opt.add_double("fail-on-regression", -1.0,
+                 "compare: exit non-zero only for direction-aware regressions "
+                 "beyond this % (negative disables)");
   opt.add_string("old", "", "compare: baseline record directory");
   opt.add_string("new", "", "compare: candidate record directory");
 
@@ -348,7 +396,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "runner: --compare needs OLD and NEW directories\n");
       return 2;
     }
-    return compare_runs(old_dir, new_dir, opt.get_double("threshold"));
+    return compare_runs(old_dir, new_dir, opt.get_double("threshold"),
+                        opt.get_double("fail-on-regression"));
   }
 
   std::string bin_dir = opt.get_string("bin-dir");

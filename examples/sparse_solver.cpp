@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
     c.variant = v;
     SystemConfig sc;
     sc.machine = topo::MachineConfig::dash(procs);
-    sc.policy = panel_policy_for(v);
+    sc.policy = panel_policy_for(v, procs);
     Runtime rt(sc);
     const PanelResult r = run_panel(rt, c);
     t.row()

@@ -1,0 +1,350 @@
+#include "adaptive/engine.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace cool::adaptive {
+namespace {
+
+std::string fmt(const char* format, ...) {
+  char buf[192];
+  va_list ap;
+  va_start(ap, format);
+  std::vsnprintf(buf, sizeof buf, format, ap);
+  va_end(ap);
+  return buf;
+}
+
+void sub_stats(obs::AccessStats& a, const obs::AccessStats& b) {
+  const auto sub = [](std::uint64_t& x, std::uint64_t y) {
+    x = x >= y ? x - y : 0;
+  };
+  sub(a.reads, b.reads);
+  sub(a.writes, b.writes);
+  for (int i = 0; i < mem::kNumServices; ++i) sub(a.serviced[i], b.serviced[i]);
+  sub(a.invals, b.invals);
+  sub(a.stall_cycles, b.stall_cycles);
+  sub(a.remote_stall_cycles, b.remote_stall_cycles);
+}
+
+void sub_vec(std::vector<std::uint64_t>& a,
+             const std::vector<std::uint64_t>& b) {
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) a[i] = a[i] >= b[i] ? a[i] - b[i] : 0;
+}
+
+}  // namespace
+
+AdaptiveEngine::AdaptiveEngine(const topo::MachineConfig& machine,
+                               AdaptPolicy policy, Hooks hooks)
+    : machine_(machine),
+      pol_(policy),
+      hooks_(std::move(hooks)),
+      gov_(policy.confirm_epochs, policy.cooldown_epochs) {}
+
+std::uint64_t AdaptiveEngine::on_task_dispatch(topo::ProcId proc,
+                                               std::uint64_t now) {
+  ++tasks_since_;
+  const bool by_tasks = pol_.epoch_tasks > 0 && tasks_since_ >= pol_.epoch_tasks;
+  const bool by_cycles =
+      pol_.epoch_cycles > 0 && now - last_epoch_cycle_ >= pol_.epoch_cycles;
+  if (!by_tasks && !by_cycles) return 0;
+  tasks_since_ = 0;
+  last_epoch_cycle_ = now;
+  return run_epoch(proc, now);
+}
+
+std::uint64_t AdaptiveEngine::run_epoch(topo::ProcId proc, std::uint64_t now) {
+  ++epoch_;
+  obs::ProfileSnapshot cur = hooks_.profile ? hooks_.profile()
+                                            : obs::ProfileSnapshot{};
+  obs::Snapshot met = hooks_.metrics ? hooks_.metrics() : obs::Snapshot{};
+
+  // Per-epoch deltas: subtract the previous cumulative snapshots so the
+  // rules judge this epoch's behaviour, not the run's whole history. The
+  // set `procs` lists stay cumulative (a set that ever spread has lost its
+  // reuse; there is no meaningful per-epoch subtraction of a set of ids).
+  obs::ProfileSnapshot delta = cur;
+  {
+    std::unordered_map<std::uint64_t, const obs::ProfileSnapshot::ObjectRow*>
+        prev_obj;
+    for (const auto& o : prev_profile_.objects) prev_obj[o.addr] = &o;
+    for (auto& o : delta.objects) {
+      auto it = prev_obj.find(o.addr);
+      if (it == prev_obj.end()) continue;
+      sub_stats(o.s, it->second->s);
+      sub_vec(o.miss_from_cluster, it->second->miss_from_cluster);
+      sub_vec(o.miss_home_cluster, it->second->miss_home_cluster);
+    }
+    std::unordered_map<std::uint64_t, const obs::ProfileSnapshot::SetRow*>
+        prev_set;
+    for (const auto& s : prev_profile_.sets) prev_set[s.key] = &s;
+    for (auto& s : delta.sets) {
+      auto it = prev_set.find(s.key);
+      if (it == prev_set.end()) continue;
+      sub_stats(s.s, it->second->s);
+      s.tasks = s.tasks >= it->second->tasks ? s.tasks - it->second->tasks : 0;
+      s.stolen =
+          s.stolen >= it->second->stolen ? s.stolen - it->second->stolen : 0;
+    }
+    sub_stats(delta.total, prev_profile_.total);
+  }
+  obs::Snapshot dm = met.diff(prev_metrics_);
+  // Queue depths are gauges, not counters: subtracting the previous
+  // instantaneous depth is meaningless, so carry the current values through.
+  for (const char* g : {"sched.queue.now", "sched.queue.max_now"}) {
+    auto it = met.values.find(g);
+    if (it != met.values.end()) dm.values[it->first] = it->second;
+  }
+  prev_profile_ = std::move(cur);
+  prev_metrics_ = std::move(met);
+
+  const std::vector<obs::advisor::Finding> findings =
+      obs::advisor::evaluate(delta, dm, pol_.rules);
+
+  std::uint64_t cost = pol_.epoch_cost_cycles;
+  std::uint32_t actions = 0;
+  const std::uint64_t rehomes_before = rehomes_since_enable_;
+  for (const obs::advisor::Finding& f : findings) {
+    if (actions >= pol_.max_actions_per_epoch) break;
+    const std::size_t before = log_.size();
+    cost += act(f, proc, now + cost);
+    if (log_.size() > before) ++actions;
+  }
+
+  // Revert the steal-storm relief once rehoming has spread the data: with
+  // the hot objects now homed next to (or across) their users, OBJECT tasks
+  // are placed on useful processors and stealing them only trades locality
+  // away. Wait for the rehome wave to dry up (an epoch with rehomes done but
+  // none new) — reverting mid-wave strands the still-unmoved objects' tasks
+  // on the old home — AND for the pile-up itself to drain: programs whose
+  // hot set evolves (gauss's elimination front) pause rehoming for an epoch
+  // while a deep queue still sits on the old home. The shared governor key
+  // keeps enable/revert at least one cooldown apart; if imbalance returns,
+  // the storm rule re-enables.
+  std::uint64_t queued_max = 0;
+  if (auto it = dm.values.find("sched.queue.max_now"); it != dm.values.end()) {
+    queued_max = it->second;
+  }
+  if (pol_.enable_steal_policy && enabled_steal_object_ &&
+      rehomes_since_enable_ > 0 &&
+      rehomes_since_enable_ == rehomes_before &&
+      queued_max * 2 < machine_.n_procs && hooks_.mutate_policy &&
+      gov_.admit("policy:steal_object_tasks", epoch_)) {
+    hooks_.mutate_policy(
+        [](sched::Policy& p) { p.steal_object_tasks = false; });
+    enabled_steal_object_ = false;
+    rehomes_since_enable_ = 0;
+    obs::advisor::Finding f;
+    f.kind = obs::AdviceKind::kStealStorm;
+    f.subject = "scheduler";
+    record(f, "steal_object_tasks=off (data spread)", now + cost, 0);
+  }
+  return cost;
+}
+
+std::uint64_t AdaptiveEngine::act(const obs::advisor::Finding& f,
+                                  topo::ProcId proc, std::uint64_t now) {
+  switch (f.kind) {
+    case obs::AdviceKind::kMigrateObject: {
+      if (!pol_.enable_migrate || !hooks_.migrate) return 0;
+      const std::string done_key = "object:" + f.subject;
+      if (done_.count(done_key) != 0) return 0;
+      if (!gov_.admit("migrate:" + f.subject, epoch_)) return 0;
+      const topo::ProcId first = static_cast<topo::ProcId>(
+          f.user_cluster * machine_.procs_per_cluster);
+      const std::uint64_t pb = machine_.page_bytes;
+      const std::uint64_t pages = (f.obj_bytes + pb - 1) / pb;
+      std::uint64_t c = 0;
+      std::string action;
+      if (pages > 1 && first < machine_.n_procs) {
+        // Multi-page object: spread its pages over the dominant cluster's
+        // processors rather than piling the whole thing onto one memory —
+        // the object moves next to its users without creating a hotspot.
+        const std::uint32_t span = machine_.n_procs - first <
+                                           machine_.procs_per_cluster
+                                       ? machine_.n_procs - first
+                                       : machine_.procs_per_cluster;
+        for (std::uint64_t i = 0; i < pages; ++i) {
+          const std::uint64_t off = i * pb;
+          const std::uint64_t len =
+              off + pb <= f.obj_bytes ? pb : f.obj_bytes - off;
+          const topo::ProcId target =
+              static_cast<topo::ProcId>(first + i % span);
+          c += hooks_.migrate(proc, f.obj_addr + off, len, target, now + c);
+        }
+        action = fmt("migrate %" PRIu64 " pages into cluster %zu", pages,
+                     f.user_cluster);
+      } else {
+        // Sub-page object: rotate the target over the cluster's processors
+        // so a family of small hot objects doesn't pile onto one memory.
+        topo::ProcId target = first;
+        if (first < machine_.n_procs) {
+          const std::uint32_t span = machine_.n_procs - first <
+                                             machine_.procs_per_cluster
+                                         ? machine_.n_procs - first
+                                         : machine_.procs_per_cluster;
+          target = static_cast<topo::ProcId>(first + migrate_cursor_ % span);
+          ++migrate_cursor_;
+        } else {
+          target = machine_.n_procs - 1;
+        }
+        c = hooks_.migrate(proc, f.obj_addr, f.obj_bytes, target, now);
+        action =
+            fmt("migrate to proc %u (cluster %zu)", target, f.user_cluster);
+      }
+      done_.insert(done_key);
+      ++rehomes_since_enable_;
+      record(f, std::move(action), now, c);
+      return c;
+    }
+    case obs::AdviceKind::kDistributeObject: {
+      if (!pol_.enable_distribute || !hooks_.migrate) return 0;
+      const std::string done_key = "object:" + f.subject;
+      if (done_.count(done_key) != 0) return 0;
+      if (!gov_.admit("distribute:" + f.subject, epoch_)) return 0;
+      const std::uint64_t pb = machine_.page_bytes;
+      const std::uint64_t pages = (f.obj_bytes + pb - 1) / pb;
+      std::uint64_t c = 0;
+      std::string action;
+      if (pages > 1) {
+        // Multi-page object: round-robin its pages across every processor's
+        // memory — the automated version of the hand `distribute()` call.
+        for (std::uint64_t i = 0; i < pages; ++i) {
+          const std::uint64_t off = i * pb;
+          const std::uint64_t len =
+              off + pb <= f.obj_bytes ? pb : f.obj_bytes - off;
+          const topo::ProcId target =
+              static_cast<topo::ProcId>(i % machine_.n_procs);
+          c += hooks_.migrate(proc, f.obj_addr + off, len, target, now + c);
+        }
+        action = fmt("distribute %" PRIu64 " pages round-robin", pages);
+      } else {
+        // Sub-page object: rehome it whole, rotating the target so a family
+        // of small hot objects (e.g. matrix columns) spreads out.
+        const topo::ProcId target =
+            static_cast<topo::ProcId>(distribute_cursor_ % machine_.n_procs);
+        distribute_cursor_ =
+            (distribute_cursor_ + 1) % machine_.n_procs;
+        c = hooks_.migrate(proc, f.obj_addr, f.obj_bytes, target, now);
+        action = fmt("rehome to proc %u (round-robin)", target);
+      }
+      done_.insert(done_key);
+      ++rehomes_since_enable_;
+      record(f, std::move(action), now, c);
+      return c;
+    }
+    case obs::AdviceKind::kTaskAffinity: {
+      if (!pol_.enable_hints || !hooks_.promote) return 0;
+      const std::string done_key = "promote:" + f.subject;
+      if (done_.count(done_key) != 0) return 0;
+      if (!gov_.admit(done_key, epoch_)) return 0;
+      hooks_.promote(f.set_key, true);
+      done_.insert(done_key);
+      record(f, "promote to TASK affinity", now, 0);
+      return 0;
+    }
+    case obs::AdviceKind::kWholeSetStealing: {
+      if (!pol_.enable_steal_policy || !hooks_.mutate_policy || !hooks_.policy) {
+        return 0;
+      }
+      const sched::Policy p = hooks_.policy();
+      if (!p.steal_enabled || p.steal_whole_sets) return 0;
+      if (!gov_.admit("policy:steal_whole_sets", epoch_)) return 0;
+      hooks_.mutate_policy(
+          [](sched::Policy& pol) { pol.steal_whole_sets = true; });
+      record(f, "steal_whole_sets=on", now, 0);
+      return 0;
+    }
+    case obs::AdviceKind::kIdleImbalance: {
+      // Idleness alone is too noisy to act on online: barrier-structured
+      // programs (ocean) show large per-epoch idle fractions between phases
+      // with nothing wrong. Act only on the pile-up signature — processors
+      // idle while a deep run queue sits on a single server. A balanced
+      // spawn burst puts at most a task or two on each queue, so a deepest
+      // queue holding half the machine's worth of work means the work
+      // exists but cannot spread.
+      if (!pol_.enable_steal_policy || !hooks_.mutate_policy ||
+          !hooks_.policy) {
+        return 0;
+      }
+      if (f.queued_max * 2 < machine_.n_procs) return 0;
+      const sched::Policy p = hooks_.policy();
+      if (!p.steal_enabled || p.steal_object_tasks) return 0;
+      if (!gov_.admit("policy:steal_object_tasks", epoch_)) return 0;
+      hooks_.mutate_policy(
+          [](sched::Policy& pol) { pol.steal_object_tasks = true; });
+      enabled_steal_object_ = true;
+      rehomes_since_enable_ = 0;
+      record(f, "steal_object_tasks=on (queue pile-up)", now, 0);
+      return 0;
+    }
+    case obs::AdviceKind::kStealStorm: {
+      if (!pol_.enable_steal_policy || !hooks_.mutate_policy || !hooks_.policy) {
+        return 0;
+      }
+      const sched::Policy p = hooks_.policy();
+      if (!p.steal_enabled) return 0;
+      if (!p.steal_object_tasks) {
+        // Idle processors scan but find nothing stealable: the usual cause
+        // is every task carrying OBJECT affinity (default-steal-exempt).
+        // Letting object tasks be stolen is the least intrusive relief.
+        if (!gov_.admit("policy:steal_object_tasks", epoch_)) return 0;
+        hooks_.mutate_policy(
+            [](sched::Policy& pol) { pol.steal_object_tasks = true; });
+        enabled_steal_object_ = true;
+        rehomes_since_enable_ = 0;
+        record(f, "steal_object_tasks=on", now, 0);
+        return 0;
+      }
+      if (p.max_steal_scan == 0) {
+        // Still storming with stealing wide open: bound the scan length so
+        // idle processors stop sweeping every queue on the machine.
+        if (!gov_.admit("policy:max_steal_scan", epoch_)) return 0;
+        const std::uint32_t cap = machine_.procs_per_cluster;
+        hooks_.mutate_policy(
+            [cap](sched::Policy& pol) { pol.max_steal_scan = cap; });
+        record(f, fmt("max_steal_scan=%u", cap), now, 0);
+        return 0;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+void AdaptiveEngine::record(const obs::advisor::Finding& f, std::string action,
+                            std::uint64_t now, std::uint64_t cost) {
+  Decision d;
+  d.epoch = epoch_;
+  d.cycle = now;
+  d.rule = f.kind;
+  d.subject = f.subject;
+  d.action = std::move(action);
+  d.cost_cycles = cost;
+  log_.push_back(std::move(d));
+}
+
+std::string AdaptiveEngine::log_json() const {
+  obs::json::Writer w;
+  w.begin_array();
+  for (const Decision& d : log_) {
+    w.begin_object();
+    w.key("epoch").uint_value(d.epoch);
+    w.key("cycle").uint_value(d.cycle);
+    w.key("rule").string(obs::advice_kind_name(d.rule));
+    w.key("subject").string(d.subject);
+    w.key("action").string(d.action);
+    w.key("cost_cycles").uint_value(d.cost_cycles);
+    w.end_object();
+  }
+  w.end_array();
+  return w.str();
+}
+
+}  // namespace cool::adaptive

@@ -1,0 +1,134 @@
+// AdaptiveEngine — the online loop that closes profiler → advisor → scheduler.
+//
+// The offline story (PR 3) was: run, dump the locality profile, read the
+// advisor's prose, edit the source to add hints or migrate() calls, rerun.
+// This engine runs the same advisor rules *during* the run and applies their
+// decisions through three actuators, no source changes required:
+//
+//   1. memory   — MemorySystem::migrate(): rehome an object next to its
+//      dominant user (migrate-object rule), or spread a scattered-access
+//      object page-round-robin across the machine (distribute-object rule);
+//   2. hints    — a per-object promotion table in the scheduler: tasks with
+//      plain OBJECT affinity on a hot shared object are promoted to
+//      TASK+OBJECT, so they queue on one server and run back-to-back
+//      (task-affinity rule), exactly the hint gauss adds by hand;
+//   3. steal policy — flip Policy::steal_object_tasks / steal_whole_sets and
+//      cap the steal-scan length when the steal-storm / idle-imbalance /
+//      whole-set rules fire.
+//
+// Epochs are task-count (or sim-cycle) driven; each epoch diffs the profiler
+// and metric snapshots against the previous epoch so rules judge *recent*
+// behaviour, not the whole past. Every actuator firing passes the hysteresis
+// governor and is appended to a decision log that benches export (JSON +
+// Chrome trace). Under the sim engine all of this is called from the single
+// simulation thread, so decisions are deterministic: two runs of the same
+// program produce identical logs.
+//
+// The engine talks to the runtime through `Hooks` (plain std::functions), so
+// it depends on no concrete engine type and unit tests can drive it with
+// synthetic snapshots.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "adaptive/governor.hpp"
+#include "adaptive/policy.hpp"
+#include "obs/advisor_rules.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "sched/scheduler.hpp"
+#include "topology/machine.hpp"
+
+namespace cool::adaptive {
+
+/// One actuator firing. `cycle` is the dispatching processor's clock when the
+/// epoch ran; `cost_cycles` is what the actuator charged that processor.
+struct Decision {
+  std::uint64_t epoch = 0;
+  std::uint64_t cycle = 0;
+  obs::AdviceKind rule = obs::AdviceKind::kMigrateObject;
+  std::string subject;
+  std::string action;
+  std::uint64_t cost_cycles = 0;
+};
+
+/// Runtime services the engine needs, as callables so the engine stays
+/// independent of the concrete runtime/engine types.
+struct Hooks {
+  std::function<obs::ProfileSnapshot()> profile;  ///< Cumulative profile.
+  std::function<obs::Snapshot()> metrics;         ///< Cumulative metrics.
+  /// Migrate [addr, addr+bytes) (profiler address space) to new_home;
+  /// returns the cycles to charge to `caller`. `now` is the caller's clock
+  /// (for trace timestamps).
+  std::function<std::uint64_t(topo::ProcId caller, std::uint64_t addr,
+                              std::uint64_t bytes, topo::ProcId new_home,
+                              std::uint64_t now)>
+      migrate;
+  /// Enable/disable TASK-affinity promotion for the object whose profiler
+  /// set key is `set_key`.
+  std::function<void(std::uint64_t set_key, bool on)> promote;
+  /// Mutate the live scheduler policy (sim: single-threaded, safe).
+  std::function<void(const std::function<void(sched::Policy&)>&)> mutate_policy;
+  /// Read the current scheduler policy.
+  std::function<sched::Policy()> policy;
+};
+
+class AdaptiveEngine {
+ public:
+  AdaptiveEngine(const topo::MachineConfig& machine, AdaptPolicy policy,
+                 Hooks hooks);
+
+  /// Notify one task dispatch on `proc` whose clock reads `now`. When the
+  /// notification closes an epoch the engine evaluates and acts; the return
+  /// value is the cycles to charge to `proc` (0 between epochs).
+  std::uint64_t on_task_dispatch(topo::ProcId proc, std::uint64_t now);
+
+  [[nodiscard]] const std::vector<Decision>& log() const noexcept {
+    return log_;
+  }
+  /// Deterministic JSON array of decisions (the bench-record export).
+  [[nodiscard]] std::string log_json() const;
+  [[nodiscard]] std::uint64_t epochs() const noexcept { return epoch_; }
+  [[nodiscard]] const AdaptPolicy& policy() const noexcept { return pol_; }
+  [[nodiscard]] const Governor& governor() const noexcept { return gov_; }
+
+ private:
+  std::uint64_t run_epoch(topo::ProcId proc, std::uint64_t now);
+  /// Apply one finding through its actuator; returns cycles charged and
+  /// appends to log_ iff it acted.
+  std::uint64_t act(const obs::advisor::Finding& f, topo::ProcId proc,
+                    std::uint64_t now);
+  void record(const obs::advisor::Finding& f, std::string action,
+              std::uint64_t now, std::uint64_t cost);
+
+  topo::MachineConfig machine_;
+  AdaptPolicy pol_;
+  Hooks hooks_;
+  Governor gov_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t tasks_since_ = 0;
+  std::uint64_t last_epoch_cycle_ = 0;
+  std::uint32_t distribute_cursor_ = 0;  ///< Round-robin home for rehoming.
+  std::uint32_t migrate_cursor_ = 0;  ///< Rotates sub-page migration targets.
+  /// Steal-relief state machine: the steal-storm response (letting OBJECT
+  /// tasks be stolen) is the right medicine while work is piled on one
+  /// processor, but once the migrate/distribute actuators have rehomed the
+  /// hot objects the same flag turns local references remote. Track whether
+  /// we enabled it and how many rehomes happened since, and revert when the
+  /// data has spread (the governor paces both directions with one key).
+  bool enabled_steal_object_ = false;
+  std::uint64_t rehomes_since_enable_ = 0;
+  /// Objects/sets already acted on — migrations and promotions are one-shot
+  /// per subject, so a cold-cache echo of the rule can't thrash the object
+  /// back and forth.
+  std::set<std::string> done_;
+  obs::ProfileSnapshot prev_profile_;
+  obs::Snapshot prev_metrics_;
+  std::vector<Decision> log_;
+};
+
+}  // namespace cool::adaptive

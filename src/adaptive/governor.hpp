@@ -1,0 +1,70 @@
+// Hysteresis governor — one gate per decision class.
+//
+// Adaptation without hysteresis oscillates: a rule fires on one noisy epoch,
+// the actuator flips a policy bit, the next epoch the (now different) system
+// fires the opposite rule, and the runtime thrashes between two bad states.
+// The governor imposes two dampers on every decision class (keyed by a
+// string such as "policy:steal_object_tasks" or "migrate:col[3]"):
+//
+//   * confirmation — the rule must fire on `confirm_epochs` *consecutive*
+//     epochs before the actuator is admitted (a gap resets the streak), and
+//   * cooldown — after admitting, the class is frozen for `cooldown_epochs`
+//     further epochs, so no class can flip-flop inside its cooldown window.
+//
+// Deterministic by construction: state lives in an ordered map and is driven
+// only by (key, epoch) pairs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace cool::adaptive {
+
+class Governor {
+ public:
+  Governor(std::uint32_t confirm_epochs, std::uint32_t cooldown_epochs)
+      : confirm_(confirm_epochs), cooldown_(cooldown_epochs) {}
+
+  struct State {
+    std::uint64_t streak = 0;         ///< Consecutive epochs the rule fired.
+    std::uint64_t last_seen = kNever; ///< Epoch of the last firing.
+    std::uint64_t cooldown_until = 0; ///< First epoch allowed to act again.
+  };
+
+  /// Record that `key`'s rule fired in `epoch` and decide whether its
+  /// actuator may run now. Epochs are expected to be non-decreasing.
+  bool admit(const std::string& key, std::uint64_t epoch) {
+    State& st = states_[key];
+    if (st.last_seen != kNever && st.last_seen + 1 == epoch) {
+      ++st.streak;
+    } else if (st.last_seen == epoch) {
+      // Same epoch, second finding of the same class: no extra confirmation.
+    } else {
+      st.streak = 1;
+    }
+    st.last_seen = epoch;
+    if (st.streak < confirm_) return false;
+    if (epoch < st.cooldown_until) return false;
+    st.cooldown_until = epoch + cooldown_ + 1;
+    st.streak = 0;
+    return true;
+  }
+
+  /// Inspection for tests and the adaptation log.
+  [[nodiscard]] const std::map<std::string, State>& states() const noexcept {
+    return states_;
+  }
+  [[nodiscard]] std::uint32_t confirm_epochs() const noexcept { return confirm_; }
+  [[nodiscard]] std::uint32_t cooldown_epochs() const noexcept {
+    return cooldown_;
+  }
+
+ private:
+  static constexpr std::uint64_t kNever = ~0ull;
+  std::uint32_t confirm_;
+  std::uint32_t cooldown_;
+  std::map<std::string, State> states_;
+};
+
+}  // namespace cool::adaptive

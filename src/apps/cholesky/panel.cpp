@@ -23,7 +23,7 @@ const char* panel_variant_name(PanelVariant v) {
   return "?";
 }
 
-sched::Policy panel_policy_for(PanelVariant v) {
+sched::Policy panel_policy_for(PanelVariant v, std::uint32_t n_procs) {
   sched::Policy p;
   p.honor_affinity =
       v == PanelVariant::kDistrAff || v == PanelVariant::kDistrAffCluster;
@@ -31,10 +31,12 @@ sched::Policy panel_policy_for(PanelVariant v) {
     // The paper's cluster-scheduling experiment: idle processors may steal —
     // even OBJECT-pinned update tasks — but only within their cluster, so a
     // stolen task still references the destination panel in cluster-local
-    // memory.
+    // memory. On a one-cluster machine "within the cluster" means anywhere,
+    // so the restriction is dropped there (validate_policy rejects the
+    // vacuous flag).
     p.steal_object_tasks = true;
     p.steal_pinned_sets = true;
-    p.cluster_only = true;
+    p.cluster_only = topo::MachineConfig::dash(n_procs).n_clusters() > 1;
   }
   return p;
 }

@@ -53,7 +53,10 @@ struct PanelResult {
   std::uint64_t updates = 0;  ///< Number of UpdatePanel tasks.
 };
 
-sched::Policy panel_policy_for(PanelVariant v);
+/// Scheduling policy for a variant. `n_procs` decides whether cluster-only
+/// stealing is meaningful (it is vacuous — and rejected by validate_policy —
+/// on a machine with a single cluster).
+sched::Policy panel_policy_for(PanelVariant v, std::uint32_t n_procs = 32);
 
 PanelResult run_panel(Runtime& rt, const PanelConfig& cfg);
 

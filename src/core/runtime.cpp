@@ -13,6 +13,7 @@ namespace cool {
 
 Runtime::Runtime(SystemConfig cfg) : cfg_(cfg) {
   cfg_.machine.validate();
+  sched::validate_policy(cfg_.policy, cfg_.machine);
   obs_ = std::make_unique<obs::Registry>(cfg_.machine.n_procs);
   if (cfg_.mode == SystemConfig::Mode::kSim) {
     sim_ = std::make_unique<SimEngine>(cfg_.machine, cfg_.policy, cfg_.costs,
@@ -25,7 +26,8 @@ Runtime::Runtime(SystemConfig cfg) : cfg_(cfg) {
     thr_->attach_obs(*obs_);
     eng_ = thr_.get();
   }
-  if (cfg_.profile) {
+  if (cfg_.profile || (cfg_.adapt && sim_)) {
+    // --adapt constructs the profiler as its sensor even without --profile.
     prof_ = std::make_unique<obs::LocalityProfiler>(cfg_.machine);
     if (sim_) {
       sim_->attach_profiler(prof_.get());
@@ -43,6 +45,29 @@ Runtime::Runtime(SystemConfig cfg) : cfg_(cfg) {
   COOL_CHECK(mem != MAP_FAILED, "failed to reserve the runtime arena");
   arena_ = static_cast<char*>(mem);
   eng_->set_addr_base(reinterpret_cast<std::uint64_t>(arena_));
+  if (cfg_.adapt && sim_) {
+    adaptive::Hooks h;
+    h.profile = [this] { return prof_->snapshot(); };
+    h.metrics = [this] { return obs_snapshot(); };
+    h.migrate = [this](topo::ProcId caller, std::uint64_t addr,
+                       std::uint64_t bytes, topo::ProcId target,
+                       std::uint64_t now) {
+      return sim_->adaptive_migrate(caller, addr, bytes, target, now);
+    };
+    // The profiler keys sets by arena-relative object address; the scheduler
+    // promotion table matches raw Affinity::object_obj values, so translate.
+    h.promote = [this](std::uint64_t set_key, bool on) {
+      sim_->scheduler().set_task_promotion(
+          set_key + reinterpret_cast<std::uint64_t>(arena_), on);
+    };
+    h.mutate_policy = [this](const std::function<void(sched::Policy&)>& fn) {
+      sim_->scheduler().adapt_policy(fn);
+    };
+    h.policy = [this] { return sim_->scheduler().policy(); };
+    adapt_ = std::make_unique<adaptive::AdaptiveEngine>(
+        cfg_.machine, cfg_.adapt_policy, std::move(h));
+    sim_->attach_adaptive(adapt_.get());
+  }
 }
 
 Runtime::~Runtime() {
@@ -177,10 +202,13 @@ obs::Snapshot Runtime::obs_snapshot() const {
   const sched::Scheduler& sch =
       sim_ ? sim_->scheduler() : thr_->scheduler();
   std::uint64_t max_depth = 0;
+  std::uint64_t max_now = 0;
   for (std::uint32_t p = 0; p < cfg_.machine.n_procs; ++p) {
     max_depth = std::max<std::uint64_t>(max_depth, sch.queues(p).max_depth());
+    max_now = std::max<std::uint64_t>(max_now, sch.queues(p).size());
   }
   put("sched.queue.max_depth", max_depth);
+  put("sched.queue.max_now", max_now);
   put("sched.queue.now", sch.total_queued());
 
   if (sim_) {

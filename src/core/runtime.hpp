@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "adaptive/engine.hpp"
 #include "analysis/race_detector.hpp"
 #include "core/costs.hpp"
 #include "core/sim_engine.hpp"
@@ -48,6 +49,18 @@ struct SystemConfig {
   /// where TSan covers the same ground). Passive like the profiler: cycle
   /// counts are identical with it on, and when off nothing is constructed.
   bool race_check = false;
+  /// Attach the online adaptive locality runtime (kSim only — its policy
+  /// mutations assume the sim engine's single-threaded dispatch loop;
+  /// silently ignored under kThreads, like race_check). Constructs the
+  /// profiler as its sensor even without `profile`. Unlike the passive
+  /// observers, adaptation charges simulated cycles for its epoch
+  /// evaluations and migrations — that cost is the point being modelled.
+  /// With `adapt` off, nothing is constructed and cycle counts are
+  /// byte-identical to a build without the subsystem.
+  bool adapt = false;
+  /// Knobs for the adaptation engine (epoch length, hysteresis, thresholds);
+  /// see adaptive/policy.hpp. Loaded from `--adapt=policy.json` by benches.
+  adaptive::AdaptPolicy adapt_policy;
   /// Size of the runtime's allocation arena (virtual memory, touched lazily).
   /// Allocations are bump-allocated from it so simulated addresses are
   /// arena-relative and every run is bit-reproducible.
@@ -135,6 +148,20 @@ class Runtime {
   /// Merged attribution snapshot (empty snapshot when profiling is off).
   [[nodiscard]] obs::ProfileSnapshot profile_snapshot() const;
 
+  // --- adaptive runtime (SystemConfig::adapt) ------------------------------
+  /// The attached adaptation engine, or null when --adapt is off.
+  [[nodiscard]] adaptive::AdaptiveEngine* adaptive_engine() noexcept {
+    return adapt_.get();
+  }
+  [[nodiscard]] const adaptive::AdaptiveEngine* adaptive_engine()
+      const noexcept {
+    return adapt_.get();
+  }
+  /// The adaptation decision log as a JSON array ("[]" when off).
+  [[nodiscard]] std::string adaptation_json() const {
+    return adapt_ ? adapt_->log_json() : "[]";
+  }
+
   // --- race detector (SystemConfig::race_check) ----------------------------
   /// The attached detector, or null when race checking is off.
   [[nodiscard]] analysis::RaceDetector* race_detector() noexcept {
@@ -164,6 +191,7 @@ class Runtime {
   std::unique_ptr<ThreadEngine> thr_;
   std::unique_ptr<obs::LocalityProfiler> prof_;  ///< Null unless profiling.
   std::unique_ptr<analysis::RaceDetector> race_;  ///< Null unless race_check.
+  std::unique_ptr<adaptive::AdaptiveEngine> adapt_;  ///< Null unless adapt.
   Engine* eng_ = nullptr;
   char* arena_ = nullptr;       ///< mmap'd allocation arena.
   std::size_t arena_used_ = 0;  ///< Bump pointer (page multiples).

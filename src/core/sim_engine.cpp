@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "adaptive/engine.hpp"
 #include "analysis/invariants.hpp"
 #include "analysis/sync_observer.hpp"
 #include "common/check.hpp"
@@ -108,6 +109,22 @@ topo::ProcId SimEngine::home(std::uint64_t addr, topo::ProcId toucher) {
   return mem_.home_of(tr(addr), toucher);
 }
 
+std::uint64_t SimEngine::adaptive_migrate(topo::ProcId caller,
+                                          std::uint64_t sim_addr,
+                                          std::uint64_t bytes,
+                                          topo::ProcId target,
+                                          std::uint64_t now) {
+  // `sim_addr` is already arena-relative: the adaptive engine works on
+  // profiler addresses, which the profiler receives translated.
+  const std::uint64_t cost = mem_.migrate(caller, sim_addr, bytes, target);
+  if (trace_) {
+    trace_->buf(caller).record(obs::Event{now, now + cost, target, bytes,
+                                          caller, obs::EventKind::kMigration,
+                                          0});
+  }
+  return cost;
+}
+
 void SimEngine::spawn_record(TaskRecord* rec, Ctx* spawner) {
   rec->desc.seq = ++seq_;
   if (sync_obs_ != nullptr) {
@@ -211,6 +228,28 @@ void SimEngine::step(topo::ProcId p) {
       sync_obs_->on_task_run(
           p, rec->desc.seq, hint_class_of(rec->desc.aff),
           key != 0 ? tr(key) : analysis::SyncObserver::kNoSet);
+    }
+    if (adapt_ != nullptr) {
+      // The adaptive engine may close an epoch here: it reads the profiler
+      // and metric deltas, runs the advisor rules, and fires actuators. The
+      // cycles it reports (epoch evaluation + migrations) are real scheduler
+      // overhead, charged to this processor.
+      const std::size_t logged = adapt_->log().size();
+      const std::uint64_t t0a = pr.clock;
+      const std::uint64_t cost = adapt_->on_task_dispatch(p, pr.clock);
+      if (cost > 0) {
+        pr.clock += cost;
+        util_[p].sched += cost;
+      }
+      if (trace_) {
+        const std::vector<adaptive::Decision>& lg = adapt_->log();
+        for (std::size_t i = logged; i < lg.size(); ++i) {
+          trace_->buf(p).record(obs::Event{
+              t0a, pr.clock, i,
+              static_cast<std::uint64_t>(lg[i].rule), p,
+              obs::EventKind::kAdaptation, 0});
+        }
+      }
     }
     pr.current = rec;
   }

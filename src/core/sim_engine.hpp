@@ -28,6 +28,10 @@
 #include "sched/scheduler.hpp"
 #include "topology/machine.hpp"
 
+namespace cool::adaptive {
+class AdaptiveEngine;
+}  // namespace cool::adaptive
+
 namespace cool {
 
 /// Per-processor utilisation, reported after a run.
@@ -80,6 +84,16 @@ class SimEngine final : public Engine {
   /// usually point at the same analysis::RaceDetector. Passive, like the
   /// profiler; coexists with it (the memory system fans out to all observers).
   void attach_race(analysis::SyncObserver* so, mem::AccessObserver* tap);
+  /// Attach the adaptive runtime: notified once per task dispatch, and unlike
+  /// the passive observers its epoch evaluations and actuator work charge
+  /// simulated cycles to the dispatching processor.
+  void attach_adaptive(adaptive::AdaptiveEngine* a) { adapt_ = a; }
+  /// Migrate without a task context (the adaptive engine acts from the
+  /// dispatch path, not from inside a running task). Returns the cycle cost;
+  /// the caller decides which clock to charge.
+  std::uint64_t adaptive_migrate(topo::ProcId caller, std::uint64_t sim_addr,
+                                 std::uint64_t bytes, topo::ProcId target,
+                                 std::uint64_t now);
 
   // --- Engine interface ----------------------------------------------------
   void mem_access(Ctx& c, std::uint64_t addr, std::uint64_t bytes,
@@ -144,6 +158,7 @@ class SimEngine final : public Engine {
   std::unique_ptr<obs::TraceCollector> trace_;  ///< Null when tracing is off.
   obs::Counter obs_parks_;  ///< Idle transitions (detached until attach_obs).
   obs::LocalityProfiler* prof_ = nullptr;  ///< Null unless profiling.
+  adaptive::AdaptiveEngine* adapt_ = nullptr;  ///< Null unless --adapt.
 };
 
 }  // namespace cool

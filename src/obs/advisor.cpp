@@ -1,6 +1,5 @@
 #include "obs/advisor.hpp"
 
-#include <algorithm>
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
@@ -8,25 +7,6 @@
 #include "obs/json.hpp"
 
 namespace cool::obs {
-
-const char* advice_kind_name(AdviceKind k) {
-  switch (k) {
-    case AdviceKind::kMigrateObject:
-      return "migrate-object";
-    case AdviceKind::kDistributeObject:
-      return "distribute-object";
-    case AdviceKind::kTaskAffinity:
-      return "task-affinity";
-    case AdviceKind::kWholeSetStealing:
-      return "whole-set-stealing";
-    case AdviceKind::kStealStorm:
-      return "steal-storm";
-    case AdviceKind::kIdleImbalance:
-      return "idle-imbalance";
-  }
-  return "?";
-}
-
 namespace {
 
 std::string fmt(const char* format, ...) {
@@ -38,178 +18,93 @@ std::string fmt(const char* format, ...) {
   return buf;
 }
 
-/// Index of the largest entry and its share of the total (0 if empty).
-struct Dominant {
-  std::size_t index = 0;
-  double share = 0.0;
-  std::uint64_t total = 0;
-};
-
-Dominant dominant_of(const std::vector<std::uint64_t>& v) {
-  Dominant d;
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    d.total += v[i];
-    if (v[i] > v[d.index]) d.index = i;
-  }
-  if (d.total > 0) {
-    d.share = static_cast<double>(v[d.index]) / static_cast<double>(d.total);
-  }
-  return d;
-}
-
-std::uint64_t value_of(const Snapshot& m, const char* name) {
-  auto it = m.values.find(name);
-  return it == m.values.end() ? 0 : it->second;
-}
-
-void object_rules(const ProfileSnapshot& p, const AdvisorConfig& cfg,
-                  std::vector<Advice>& out) {
-  for (const ProfileSnapshot::ObjectRow& o : p.objects) {
-    if (o.anonymous) continue;  // Can't hint what the app didn't name.
-    const std::uint64_t misses = o.s.misses();
-    if (misses < cfg.min_misses) continue;
-    const double remote = misses == 0
-                              ? 0.0
-                              : static_cast<double>(o.s.remote_misses()) /
-                                    static_cast<double>(misses);
-    if (remote < cfg.remote_frac) continue;
-
-    const Dominant user = dominant_of(o.miss_from_cluster);
-    const Dominant home = dominant_of(o.miss_home_cluster);
-    if (user.share >= cfg.dominant_frac && home.total > 0 &&
-        user.index != home.index) {
-      Advice a;
-      a.kind = AdviceKind::kMigrateObject;
-      a.subject = o.name;
+/// Render one structured finding as prose. The numbers were computed by the
+/// rule engine (advisor_rules.cpp); this only formats them.
+Advice render(const advisor::Finding& f) {
+  Advice a;
+  a.kind = f.kind;
+  a.subject = f.subject;
+  a.weight = f.weight;
+  switch (f.kind) {
+    case AdviceKind::kMigrateObject:
       a.diagnosis = fmt(
           "%.0f%% of '%s' misses issue from cluster %zu but %.0f%% are "
           "serviced by cluster %zu (%.0f%% of misses remote, %" PRIu64
           " remote-stall cycles)",
-          100.0 * user.share, o.name.c_str(), user.index, 100.0 * home.share,
-          home.index, 100.0 * remote, o.s.remote_stall_cycles);
+          100.0 * f.user_share, f.subject.c_str(), f.user_cluster,
+          100.0 * f.home_share, f.home_cluster, 100.0 * f.remote_frac,
+          f.remote_stall_cycles);
       a.suggestion = fmt(
           "migrate '%s' to cluster %zu (or give its tasks OBJECT affinity so "
           "the scheduler sends them to the data)",
-          o.name.c_str(), user.index);
-      a.weight = o.s.remote_stall_cycles;
-      out.push_back(std::move(a));
-    } else if (user.share < cfg.dominant_frac && home.share >= cfg.dominant_frac) {
-      Advice a;
-      a.kind = AdviceKind::kDistributeObject;
-      a.subject = o.name;
+          f.subject.c_str(), f.user_cluster);
+      break;
+    case AdviceKind::kDistributeObject:
       a.diagnosis = fmt(
           "'%s' is used from every cluster (top user holds only %.0f%% of "
           "misses) yet %.0f%% of misses are serviced by cluster %zu (%" PRIu64
           " remote-stall cycles)",
-          o.name.c_str(), 100.0 * user.share, 100.0 * home.share, home.index,
-          o.s.remote_stall_cycles);
+          f.subject.c_str(), 100.0 * f.user_share, 100.0 * f.home_share,
+          f.home_cluster, f.remote_stall_cycles);
       a.suggestion = fmt(
           "distribute '%s' across cluster memories (per-cluster strips or "
           "round-robin pages) to spread the bandwidth demand",
-          o.name.c_str());
-      a.weight = o.s.remote_stall_cycles;
-      out.push_back(std::move(a));
-    }
-  }
-}
-
-void set_rules(const ProfileSnapshot& p, const AdvisorConfig& cfg,
-               std::vector<Advice>& out) {
-  for (const ProfileSnapshot::SetRow& s : p.sets) {
-    if (s.tasks < cfg.min_set_tasks || s.procs.size() <= 1) continue;
-    if (hint_has_task_affinity(s.hint)) {
-      Advice a;
-      a.kind = AdviceKind::kWholeSetStealing;
-      a.subject = s.label;
+          f.subject.c_str());
+      break;
+    case AdviceKind::kWholeSetStealing:
       a.diagnosis = fmt(
           "task-affinity set '%s' (%" PRIu64 " tasks, hint %s) ran on %zu "
           "processors — %" PRIu64 " of its tasks were stolen piecemeal, so "
           "the set's cache reuse is lost",
-          s.label.c_str(), s.tasks, hint_class_name(s.hint), s.procs.size(),
-          s.stolen);
+          f.subject.c_str(), f.set_tasks, hint_class_name(f.hint), f.set_procs,
+          f.set_stolen);
       a.suggestion = fmt(
           "enable whole-set stealing (Policy::steal_whole_sets) so '%s' "
           "moves between processors as a unit",
-          s.label.c_str());
-      a.weight = s.s.stall_cycles;
-      out.push_back(std::move(a));
-    } else {
-      Advice a;
-      a.kind = AdviceKind::kTaskAffinity;
-      a.subject = s.label;
+          f.subject.c_str());
+      break;
+    case AdviceKind::kTaskAffinity:
       a.diagnosis = fmt(
           "%" PRIu64 " tasks share '%s' (hint %s) but ran on %zu processors "
           "(%" PRIu64 " stolen), refetching the same lines on each",
-          s.tasks, s.label.c_str(), hint_class_name(s.hint), s.procs.size(),
-          s.stolen);
+          f.set_tasks, f.subject.c_str(), hint_class_name(f.hint), f.set_procs,
+          f.set_stolen);
       a.suggestion = fmt(
           "add TASK affinity on '%s' so its tasks queue on one processor and "
           "run back-to-back",
-          s.label.c_str());
-      a.weight = s.s.stall_cycles;
-      out.push_back(std::move(a));
-    }
-  }
-}
-
-void sched_rules(const Snapshot& m, const AdvisorConfig& cfg,
-                 std::vector<Advice>& out) {
-  const std::uint64_t failed = value_of(m, "sched.failed_steal_scans");
-  const std::uint64_t steals = value_of(m, "sched.steals");
-  if (failed >= cfg.min_failed_scans &&
-      static_cast<double>(failed) >=
-          cfg.steal_fail_ratio * static_cast<double>(std::max<std::uint64_t>(
-                                     steals, 1))) {
-    Advice a;
-    a.kind = AdviceKind::kStealStorm;
-    a.subject = "scheduler";
-    a.diagnosis = fmt("%" PRIu64 " steal scans failed against %" PRIu64
-                      " successful steals — idle processors are scanning "
-                      "empty queues, not finding surplus work",
-                      failed, steals);
-    a.suggestion =
-        "create more tasks (finer decomposition) or relax affinity so queued "
-        "work is visible to idle processors";
-    a.weight = failed;
-    out.push_back(std::move(a));
-  }
-
-  const std::uint64_t busy = value_of(m, "proc.busy_cycles");
-  const std::uint64_t idle = value_of(m, "proc.idle_cycles");
-  const std::uint64_t span = busy + idle;
-  if (span > 0) {
-    const double idle_frac =
-        static_cast<double>(idle) / static_cast<double>(span);
-    if (idle_frac >= cfg.idle_frac) {
-      Advice a;
-      a.kind = AdviceKind::kIdleImbalance;
-      a.subject = "scheduler";
+          f.subject.c_str());
+      break;
+    case AdviceKind::kStealStorm:
+      a.diagnosis = fmt("%" PRIu64 " steal scans failed against %" PRIu64
+                        " successful steals — idle processors are scanning "
+                        "empty queues, not finding surplus work",
+                        f.failed_scans, f.steals);
+      a.suggestion =
+          "create more tasks (finer decomposition) or relax affinity so "
+          "queued work is visible to idle processors";
+      break;
+    case AdviceKind::kIdleImbalance:
       a.diagnosis =
           fmt("processors idle %.0f%% of the span (%" PRIu64 " idle vs %" PRIu64
               " busy cycles)",
-              100.0 * idle_frac, idle, busy);
+              100.0 * f.idle_frac, f.idle_cycles, f.busy_cycles);
       a.suggestion =
           "rebalance: more/smaller tasks, or weaker PROCESSOR pinning so the "
           "scheduler can move work";
-      a.weight = idle;
-      out.push_back(std::move(a));
-    }
+      break;
   }
+  return a;
 }
 
 }  // namespace
 
 std::vector<Advice> advise(const ProfileSnapshot& p, const Snapshot& metrics,
                            const AdvisorConfig& cfg) {
+  const std::vector<advisor::Finding> findings =
+      advisor::evaluate(p, metrics, cfg);
   std::vector<Advice> out;
-  object_rules(p, cfg, out);
-  set_rules(p, cfg, out);
-  sched_rules(metrics, cfg, out);
-  std::stable_sort(out.begin(), out.end(),
-                   [](const Advice& a, const Advice& b) {
-                     if (a.weight != b.weight) return a.weight > b.weight;
-                     return a.subject < b.subject;
-                   });
+  out.reserve(findings.size());
+  for (const advisor::Finding& f : findings) out.push_back(render(f));
   return out;
 }
 

@@ -21,20 +21,11 @@
 #include <string>
 #include <vector>
 
+#include "obs/advisor_rules.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 
 namespace cool::obs {
-
-enum class AdviceKind : std::uint8_t {
-  kMigrateObject,    ///< Re-home the object near its dominant user.
-  kDistributeObject, ///< Spread the object across cluster memories.
-  kTaskAffinity,     ///< Add TASK affinity to the tasks sharing an object.
-  kWholeSetStealing, ///< Enable Policy::steal_whole_sets.
-  kStealStorm,       ///< Steal scans mostly fail: work starvation.
-  kIdleImbalance,    ///< Processors idle a large fraction of the span.
-};
-const char* advice_kind_name(AdviceKind k);
 
 struct Advice {
   AdviceKind kind = AdviceKind::kMigrateObject;
@@ -42,18 +33,6 @@ struct Advice {
   std::string diagnosis;   ///< What the profile shows.
   std::string suggestion;  ///< The COOL hint / policy change to try.
   std::uint64_t weight = 0;  ///< Ranking key (stall cycles at stake).
-};
-
-/// Rule thresholds. The defaults suit the paper-scale benches; tests pin
-/// them explicitly where a rule boundary matters.
-struct AdvisorConfig {
-  std::uint64_t min_misses = 64;    ///< Ignore objects with fewer misses.
-  double dominant_frac = 0.60;      ///< Cluster share that counts as dominant.
-  double remote_frac = 0.40;        ///< Remote-miss share worth acting on.
-  std::uint64_t min_set_tasks = 4;  ///< Ignore smaller affinity sets.
-  double steal_fail_ratio = 4.0;    ///< Failed scans per successful steal.
-  std::uint64_t min_failed_scans = 256;
-  double idle_frac = 0.25;          ///< Idle share of the span worth flagging.
 };
 
 /// Run every rule over the profile and the runtime metric snapshot

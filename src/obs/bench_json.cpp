@@ -68,6 +68,10 @@ void BenchRecord::set_profile(std::string snapshot_json,
   advice_json_ = std::move(advice_json_arr);
 }
 
+void BenchRecord::set_adaptation(std::string decisions_json_arr) {
+  adaptation_json_ = std::move(decisions_json_arr);
+}
+
 std::string BenchRecord::to_json() const {
   json::Writer w;
   w.begin_object();
@@ -122,6 +126,9 @@ std::string BenchRecord::to_json() const {
     w.key("snapshot").raw(profile_json_);
     if (!advice_json_.empty()) w.key("advice").raw(advice_json_);
     w.end_object();
+  }
+  if (!adaptation_json_.empty()) {
+    w.key("adaptation").raw(adaptation_json_);
   }
   w.end_object();
   return w.str();
@@ -213,6 +220,15 @@ std::string validate_bench_record(const json::Value& v) {
     const json::Value* advice = profile->find("advice");
     if (advice != nullptr && !advice->is_array()) {
       return "profile.advice is not an array";
+    }
+  }
+  const json::Value* adaptation = v.find("adaptation");
+  if (adaptation != nullptr) {
+    if (!adaptation->is_array()) return "'adaptation' is not an array";
+    for (std::size_t i = 0; i < adaptation->arr.size(); ++i) {
+      if (!adaptation->arr[i].is_object()) {
+        return "adaptation[" + std::to_string(i) + "] is not an object";
+      }
     }
   }
   return "";

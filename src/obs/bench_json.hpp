@@ -63,6 +63,10 @@ class BenchRecord {
   /// is an advice_json() array (empty string = no advice key).
   void set_profile(std::string snapshot_json, std::string advice_json_arr);
 
+  /// Attach the adaptive runtime's decision log as the record's "adaptation"
+  /// block (an AdaptiveEngine::log_json() array; empty string = no key).
+  void set_adaptation(std::string decisions_json_arr);
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
   /// Render the record (deterministic field order).
@@ -92,6 +96,7 @@ class BenchRecord {
   std::string obs_json_;  ///< Pre-rendered Snapshot, empty when unset.
   std::string profile_json_;  ///< Pre-rendered ProfileSnapshot, empty = unset.
   std::string advice_json_;   ///< Pre-rendered advice array, empty = unset.
+  std::string adaptation_json_;  ///< Pre-rendered decision log, empty = unset.
 };
 
 /// Validate a parsed record against the cool-bench/1 schema. Returns an empty

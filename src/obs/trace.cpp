@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/advisor_rules.hpp"
 #include "obs/json.hpp"
 #include "obs/profiler.hpp"
 
@@ -111,6 +112,19 @@ std::string chrome_trace_json(const std::vector<Event>& events,
         w.key("dur").uint_value(e.end - e.start);
         w.key("pid").uint_value(0);
         w.key("tid").uint_value(e.proc);
+        break;
+      case EventKind::kAdaptation:
+        w.key("name").string("adapt " + std::string(advice_kind_name(
+                                 static_cast<AdviceKind>(e.b))));
+        w.key("cat").string("adapt");
+        w.key("ph").string("X");
+        w.key("ts").uint_value(e.start);
+        w.key("dur").uint_value(e.end - e.start);
+        w.key("pid").uint_value(0);
+        w.key("tid").uint_value(e.proc);
+        w.key("args").begin_object();
+        w.key("decision").uint_value(e.a);
+        w.end_object();
         break;
     }
     w.end_object();

@@ -28,6 +28,8 @@ enum class EventKind : std::uint8_t {
   kSteal,         ///< Successful steal: a=victim proc, b=tasks acquired.
   kMigration,     ///< Page migration: a=target proc, b=bytes.
   kIdleGap,       ///< Processor waited for a task's data/ready time.
+  kAdaptation,    ///< Adaptive-runtime decision: a=decision index into the
+                  ///< adaptation log, b=rule (obs::AdviceKind).
 };
 
 /// TaskSpan flag bits.

@@ -5,6 +5,44 @@
 
 namespace cool::sched {
 
+void validate_policy(const Policy& policy, const topo::MachineConfig& machine) {
+  if (!policy.steal_enabled) {
+    if (policy.steal_whole_sets || policy.steal_pinned_sets ||
+        policy.steal_object_tasks) {
+      throw util::Error(
+          "invalid scheduler policy: steal_whole_sets/steal_pinned_sets/"
+          "steal_object_tasks have no effect with steal_enabled=false — "
+          "clear them or enable stealing");
+    }
+    if (policy.cluster_first || policy.cluster_only) {
+      throw util::Error(
+          "invalid scheduler policy: cluster_first/cluster_only scope the "
+          "steal scan, which steal_enabled=false disables entirely");
+    }
+    if (policy.max_steal_scan != 0) {
+      throw util::Error(
+          "invalid scheduler policy: max_steal_scan caps the steal scan, "
+          "which steal_enabled=false disables entirely");
+    }
+  }
+  if (policy.steal_pinned_sets && !policy.steal_whole_sets) {
+    throw util::Error(
+        "invalid scheduler policy: steal_pinned_sets refines whole-set "
+        "stealing and requires steal_whole_sets=true");
+  }
+  if (policy.cluster_first && policy.cluster_only) {
+    throw util::Error(
+        "invalid scheduler policy: cluster_first and cluster_only are "
+        "mutually exclusive scan scopes — pick one");
+  }
+  if (policy.cluster_only && machine.n_clusters() <= 1) {
+    throw util::Error(
+        "invalid scheduler policy: cluster_only on a machine with a single "
+        "cluster cannot restrict anything — drop the flag or use more "
+        "clusters");
+  }
+}
+
 Scheduler::Scheduler(const topo::MachineConfig& machine, Policy policy,
                      HomeFn home)
     : machine_(machine),
@@ -153,6 +191,19 @@ topo::ProcId Scheduler::place(TaskDesc* t, topo::ProcId spawner) {
     st.placed_local.fetch_add(1, std::memory_order_relaxed);
   }
 
+  if (has_overrides_.load(std::memory_order_relaxed) &&
+      policy_.honor_affinity && t->aff.has_object() && !t->aff.has_task() &&
+      !t->aff.has_processor() && !t->aff.has_multi()) {
+    std::lock_guard l(override_m_);
+    if (promoted_.count(t->aff.object_obj) != 0) {
+      // Promoted by the adaptive runtime: behave exactly as if the program
+      // had written TASK+OBJECT affinity, so the promoted set shares an
+      // affinity queue and runs back-to-back. The server chosen above (the
+      // object's home) is what TASK+OBJECT placement picks too.
+      t->aff.task_obj = t->aff.object_obj;
+    }
+  }
+
   if (t->aff.has_task()) {
     t->aff_key = t->aff.task_obj / machine_.line_bytes;
   } else {
@@ -247,6 +298,9 @@ Scheduler::Acquired Scheduler::acquire(topo::ProcId proc) {
   std::uint64_t probed = 0;
   auto scan = [&](bool same_cluster_pass) -> TaskDesc* {
     for (std::uint32_t i = 1; i < P; ++i) {
+      if (policy_.max_steal_scan != 0 && probed >= policy_.max_steal_scan) {
+        break;
+      }
       const auto victim = static_cast<topo::ProcId>((proc + i) % P);
       const bool same = machine_.same_cluster(proc, victim);
       if (same_cluster_pass != same) continue;
@@ -286,6 +340,9 @@ Scheduler::Acquired Scheduler::acquire(topo::ProcId proc) {
     }
   } else {
     for (std::uint32_t i = 1; i < P; ++i) {
+      if (policy_.max_steal_scan != 0 && probed >= policy_.max_steal_scan) {
+        break;
+      }
       const auto victim = static_cast<topo::ProcId>((proc + i) % P);
       ++probed;
       if (TaskDesc* t = try_steal(proc, victim, busy)) {
@@ -308,6 +365,16 @@ Scheduler::Acquired Scheduler::acquire(topo::ProcId proc) {
   obs_steal_scan_.observe(proc, probed);
   out.contended = busy;
   return out;
+}
+
+void Scheduler::set_task_promotion(std::uint64_t obj_addr, bool on) {
+  std::lock_guard l(override_m_);
+  if (on) {
+    promoted_.insert(obj_addr);
+  } else {
+    promoted_.erase(obj_addr);
+  }
+  has_overrides_.store(!promoted_.empty(), std::memory_order_relaxed);
 }
 
 bool Scheduler::any_work() const {

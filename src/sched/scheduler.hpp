@@ -33,6 +33,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <unordered_set>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -61,7 +62,19 @@ struct Policy {
                                        ///< = paper's "first object" fallback.
   bool prefetch_objects = false;  ///< Prefetch a task's non-local affinity
                                   ///< objects at dispatch (§8; sim engine).
+  std::uint32_t max_steal_scan = 0;  ///< Cap victims probed per steal scan
+                                     ///< (0 = scan every other server). The
+                                     ///< adaptive runtime sets this when a
+                                     ///< steal storm persists.
 };
+
+/// Reject meaningless Policy flag combinations with a clear error instead of
+/// silently ignoring flags: steal refinements with stealing disabled,
+/// pinned-set stealing without whole-set stealing, cluster-scoped stealing on
+/// a machine with a single cluster, or both cluster modes at once. Called by
+/// Runtime at init; direct Scheduler construction (unit tests) stays
+/// unvalidated on purpose.
+void validate_policy(const Policy& policy, const topo::MachineConfig& machine);
 
 /// Aggregated scheduler counters. This is a point-in-time snapshot: the
 /// scheduler accumulates into per-server shards and `Scheduler::stats()`
@@ -185,6 +198,23 @@ class Scheduler {
     return machine_;
   }
 
+  // --- Adaptive-runtime hooks (src/adaptive) --------------------------------
+
+  /// Enable/disable TASK-affinity promotion for tasks whose OBJECT affinity
+  /// names `obj_addr` (the raw `Affinity::object_obj` value). A promoted
+  /// task is placed as if the program had written TASK+OBJECT affinity —
+  /// `task_obj` is rewritten to the object — so the whole promoted set
+  /// queues on one server and runs back-to-back. With no promotions
+  /// registered, place() takes one relaxed atomic load over the baseline.
+  void set_task_promotion(std::uint64_t obj_addr, bool on);
+
+  /// Apply `fn` to the live policy. Policy flags are read without locks on
+  /// the scheduling fast paths, so this is only safe when no concurrent
+  /// place/acquire runs — the single-threaded simulation engine between
+  /// task dispatches. The adaptive runtime is sim-only for exactly this
+  /// reason.
+  void adapt_policy(const std::function<void(Policy&)>& fn) { fn(policy_); }
+
  private:
   /// One server's statistics shard; updated with relaxed atomics by whichever
   /// thread performs the operation, summed by stats().
@@ -244,6 +274,13 @@ class Scheduler {
   /// reads below it.
   mutable std::atomic<std::uint64_t> wv_floor_{0};
   std::atomic<std::uint64_t> rr_next_{0};  ///< Base-mode round-robin cursor.
+
+  /// TASK-promotion override table (see set_task_promotion). The atomic flag
+  /// keeps the no-overrides fast path lock-free; the set itself is read under
+  /// the mutex only when at least one promotion exists.
+  std::atomic<bool> has_overrides_{false};
+  mutable std::mutex override_m_;
+  std::unordered_set<std::uint64_t> promoted_;
 
   // Optional obs instrumentation (detached no-ops until attach_obs()).
   std::vector<RunTrack> run_track_;

@@ -1,0 +1,226 @@
+// AdaptiveEngine: synthetic-hook unit tests (no runtime), end-to-end tests
+// on the real sim runtime (determinism, zero perturbation when off, recovery
+// on unhinted gauss), and the AdaptPolicy JSON round-trip.
+#include "adaptive/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adaptive/policy.hpp"
+#include "apps/gauss/gauss.hpp"
+#include "common/error.hpp"
+#include "core/runtime.hpp"
+
+namespace cool::adaptive {
+namespace {
+
+// ---------------------------------------------------------------- synthetic
+
+/// Engine over hand-fed snapshots: every dispatch closes an epoch, so each
+/// on_task_dispatch call is one evaluation of the rules.
+struct SyntheticRig {
+  topo::MachineConfig machine = topo::MachineConfig::dash(8);
+  sched::Policy live;
+  obs::Snapshot metrics;  ///< Cumulative; tests bump counters between epochs.
+  int mutations = 0;
+
+  AdaptPolicy policy() const {
+    AdaptPolicy p;
+    p.epoch_tasks = 1;
+    p.epoch_cycles = 0;
+    p.confirm_epochs = 1;
+    p.cooldown_epochs = 4;
+    return p;
+  }
+
+  Hooks hooks() {
+    Hooks h;
+    h.profile = [] { return obs::ProfileSnapshot{}; };
+    h.metrics = [this] { return metrics; };
+    h.mutate_policy = [this](const std::function<void(sched::Policy&)>& fn) {
+      fn(live);
+      ++mutations;
+    };
+    h.policy = [this] { return live; };
+    return h;
+  }
+};
+
+TEST(AdaptiveEngineSynthetic, StealStormOpensObjectStealingOnce) {
+  SyntheticRig rig;
+  AdaptiveEngine eng(rig.machine, rig.policy(), rig.hooks());
+  ASSERT_FALSE(rig.live.steal_object_tasks);
+  for (std::uint64_t e = 1; e <= 10; ++e) {
+    rig.metrics.values["sched.failed_steal_scans"] += 100;
+    eng.on_task_dispatch(0, e * 1000);
+  }
+  EXPECT_TRUE(rig.live.steal_object_tasks);
+  // The persisting storm escalates to a scan cap, then goes quiet: two
+  // mutations total, no oscillation however long the storm lasts.
+  EXPECT_EQ(rig.live.max_steal_scan, rig.machine.procs_per_cluster);
+  EXPECT_EQ(rig.mutations, 2);
+  EXPECT_EQ(eng.log().size(), 2u);
+}
+
+TEST(AdaptiveEngineSynthetic, BarrierIdlenessAloneDoesNotFlipPolicy) {
+  // High idle fraction with shallow queues is what a barrier-structured
+  // program looks like between phases — not a pile-up, no actuation.
+  SyntheticRig rig;
+  AdaptiveEngine eng(rig.machine, rig.policy(), rig.hooks());
+  for (std::uint64_t e = 1; e <= 10; ++e) {
+    rig.metrics.values["proc.busy_cycles"] += 100;
+    rig.metrics.values["proc.idle_cycles"] += 900;
+    rig.metrics.values["sched.queue.max_now"] = 1;
+    eng.on_task_dispatch(0, e * 1000);
+  }
+  EXPECT_FALSE(rig.live.steal_object_tasks);
+  EXPECT_EQ(rig.mutations, 0);
+}
+
+TEST(AdaptiveEngineSynthetic, IdlePileUpWithDeepQueueOpensStealing) {
+  // Same idleness, but half the machine's worth of tasks sits on one queue:
+  // the work exists and cannot spread — the actuator fires.
+  SyntheticRig rig;
+  AdaptiveEngine eng(rig.machine, rig.policy(), rig.hooks());
+  rig.metrics.values["proc.busy_cycles"] = 100;
+  rig.metrics.values["proc.idle_cycles"] = 900;
+  rig.metrics.values["sched.queue.max_now"] = rig.machine.n_procs / 2;
+  eng.on_task_dispatch(0, 1000);
+  EXPECT_TRUE(rig.live.steal_object_tasks);
+  EXPECT_EQ(rig.mutations, 1);
+}
+
+TEST(AdaptiveEngineSynthetic, ActuatorsCanBeDisabledIndividually) {
+  SyntheticRig rig;
+  AdaptPolicy p = rig.policy();
+  p.enable_steal_policy = false;
+  AdaptiveEngine eng(rig.machine, p, rig.hooks());
+  for (std::uint64_t e = 1; e <= 5; ++e) {
+    rig.metrics.values["sched.failed_steal_scans"] += 100;
+    eng.on_task_dispatch(0, e * 1000);
+  }
+  EXPECT_EQ(rig.mutations, 0);
+  EXPECT_TRUE(eng.log().empty());
+}
+
+TEST(AdaptiveEngineSynthetic, EpochCostIsChargedToTheDispatcher) {
+  SyntheticRig rig;
+  AdaptiveEngine eng(rig.machine, rig.policy(), rig.hooks());
+  const std::uint64_t c = eng.on_task_dispatch(3, 1000);
+  EXPECT_EQ(c, rig.policy().epoch_cost_cycles);
+}
+
+// -------------------------------------------------------------- end-to-end
+
+apps::gauss::Config unhinted_gauss() {
+  apps::gauss::Config c;
+  c.n = 48;
+  c.variant = apps::gauss::Variant::kObjectOnly;
+  c.distribute = false;
+  return c;
+}
+
+SystemConfig adapt_config(bool adapt) {
+  SystemConfig sc;
+  sc.machine = topo::MachineConfig::dash(8);
+  sc.policy = apps::gauss::policy_for(apps::gauss::Variant::kObjectOnly);
+  sc.adapt = adapt;
+  return sc;
+}
+
+TEST(AdaptiveRuntime, OffMeansNothingIsConstructed) {
+  Runtime rt(adapt_config(false));
+  EXPECT_EQ(rt.adaptive_engine(), nullptr);
+}
+
+TEST(AdaptiveRuntime, DecisionsAreDeterministic) {
+  std::string log1;
+  std::string log2;
+  std::uint64_t cycles1 = 0;
+  std::uint64_t cycles2 = 0;
+  {
+    Runtime rt(adapt_config(true));
+    const auto r = apps::gauss::run(rt, unhinted_gauss());
+    cycles1 = r.run.sim_cycles;
+    log1 = rt.adaptive_engine()->log_json();
+  }
+  {
+    Runtime rt(adapt_config(true));
+    const auto r = apps::gauss::run(rt, unhinted_gauss());
+    cycles2 = r.run.sim_cycles;
+    log2 = rt.adaptive_engine()->log_json();
+  }
+  EXPECT_EQ(cycles1, cycles2);
+  EXPECT_EQ(log1, log2);
+  EXPECT_NE(log1, "[]");  // the run actually adapted
+}
+
+TEST(AdaptiveRuntime, RecoversLocalityOnUnhintedGauss) {
+  std::uint64_t plain = 0;
+  std::uint64_t adapted = 0;
+  {
+    Runtime rt(adapt_config(false));
+    plain = apps::gauss::run(rt, unhinted_gauss()).run.sim_cycles;
+  }
+  {
+    Runtime rt(adapt_config(true));
+    adapted = apps::gauss::run(rt, unhinted_gauss()).run.sim_cycles;
+    EXPECT_FALSE(rt.adaptive_engine()->log().empty());
+  }
+  EXPECT_LT(adapted, plain);
+}
+
+TEST(AdaptiveRuntime, PolicyBitDecisionsRespectCooldown) {
+  // The end-to-end hysteresis pin: in a real adaptive run, decisions that
+  // touch the same policy bit never flip-flop inside the cooldown window.
+  Runtime rt(adapt_config(true));
+  (void)apps::gauss::run(rt, unhinted_gauss());
+  const AdaptiveEngine* eng = rt.adaptive_engine();
+  std::vector<std::uint64_t> steal_epochs;
+  for (const Decision& d : eng->log()) {
+    if (d.action.find("steal_object_tasks") != std::string::npos) {
+      steal_epochs.push_back(d.epoch);
+    }
+  }
+  const std::uint64_t min_gap = eng->policy().cooldown_epochs + 1;
+  for (std::size_t i = 1; i < steal_epochs.size(); ++i) {
+    EXPECT_GE(steal_epochs[i] - steal_epochs[i - 1], min_gap)
+        << "flip-flop at epochs " << steal_epochs[i - 1] << " -> "
+        << steal_epochs[i];
+  }
+}
+
+// ------------------------------------------------------------- policy JSON
+
+TEST(AdaptPolicyJson, RoundTrips) {
+  AdaptPolicy p;
+  p.epoch_tasks = 7;
+  p.epoch_cycles = 12345;
+  p.confirm_epochs = 3;
+  p.cooldown_epochs = 9;
+  p.enable_hints = false;
+  p.rules.min_misses = 17;
+  const AdaptPolicy q = parse_adapt_policy(p.to_json());
+  EXPECT_EQ(q.to_json(), p.to_json());
+  EXPECT_EQ(q.epoch_tasks, 7u);
+  EXPECT_FALSE(q.enable_hints);
+  EXPECT_EQ(q.rules.min_misses, 17u);
+}
+
+TEST(AdaptPolicyJson, UnknownKeyThrows) {
+  EXPECT_THROW(parse_adapt_policy("{\"epoch_taks\": 5}"), util::Error);
+}
+
+TEST(AdaptPolicyJson, MalformedJsonThrows) {
+  EXPECT_THROW(parse_adapt_policy("{\"epoch_tasks\": }"), util::Error);
+}
+
+TEST(AdaptPolicyJson, MissingFileThrows) {
+  EXPECT_THROW(load_adapt_policy("/nonexistent/adapt.json"), util::Error);
+}
+
+}  // namespace
+}  // namespace cool::adaptive

@@ -1,0 +1,66 @@
+// Governor: confirmation streaks and cooldown windows per decision class.
+#include "adaptive/governor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cool::adaptive {
+namespace {
+
+TEST(Governor, ConfirmOneAdmitsOnFirstFiring) {
+  Governor g(1, 0);
+  EXPECT_TRUE(g.admit("k", 1));
+}
+
+TEST(Governor, ConfirmTwoNeedsConsecutiveEpochs) {
+  Governor g(2, 0);
+  EXPECT_FALSE(g.admit("k", 1));
+  EXPECT_TRUE(g.admit("k", 2));
+}
+
+TEST(Governor, GapResetsTheStreak) {
+  Governor g(2, 0);
+  EXPECT_FALSE(g.admit("k", 1));
+  // Epoch 2 is silent; the epoch-3 firing starts a fresh streak.
+  EXPECT_FALSE(g.admit("k", 3));
+  EXPECT_TRUE(g.admit("k", 4));
+}
+
+TEST(Governor, SameEpochDoubleFiringDoesNotDoubleCount) {
+  Governor g(2, 0);
+  EXPECT_FALSE(g.admit("k", 1));
+  EXPECT_FALSE(g.admit("k", 1));  // second finding of the class, same epoch
+  EXPECT_TRUE(g.admit("k", 2));
+}
+
+TEST(Governor, CooldownFreezesTheClass) {
+  Governor g(1, 4);
+  EXPECT_TRUE(g.admit("k", 1));
+  for (std::uint64_t e = 2; e <= 5; ++e) {
+    EXPECT_FALSE(g.admit("k", e)) << "epoch " << e;
+  }
+  EXPECT_TRUE(g.admit("k", 6));
+}
+
+TEST(Governor, NoClassFlipFlopsWithinItsCooldown) {
+  // The hysteresis pin: however often a rule fires, two admissions of one
+  // decision class are always at least cooldown+1 epochs apart.
+  Governor g(1, 3);
+  std::vector<std::uint64_t> admitted;
+  for (std::uint64_t e = 1; e <= 40; ++e) {
+    if (g.admit("policy:steal_object_tasks", e)) admitted.push_back(e);
+  }
+  ASSERT_GE(admitted.size(), 2u);
+  for (std::size_t i = 1; i < admitted.size(); ++i) {
+    EXPECT_GE(admitted[i] - admitted[i - 1], g.cooldown_epochs() + 1);
+  }
+}
+
+TEST(Governor, ClassesAreIndependent) {
+  Governor g(1, 10);
+  EXPECT_TRUE(g.admit("a", 1));
+  EXPECT_TRUE(g.admit("b", 1));  // a's cooldown does not freeze b
+  EXPECT_FALSE(g.admit("a", 2));
+}
+
+}  // namespace
+}  // namespace cool::adaptive

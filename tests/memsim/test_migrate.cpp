@@ -1,0 +1,107 @@
+// Page-granularity migration (COOL's migrate()/home(), paper footnotes 2-3):
+// an object straddling a page boundary moves every page it touches, dirty
+// cached copies are written back before the rebind, and accesses racing the
+// migration keep a coherent view of the line.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "memsim/memsystem.hpp"
+
+namespace cool::mem {
+namespace {
+
+class MigrateTest : public ::testing::Test {
+ protected:
+  MigrateTest() : machine_(topo::MachineConfig::dash()), ms_(machine_) {
+    // Two adjacent pages, both homed at proc 0 (cluster 0).
+    ms_.bind_range(kBase, 2 * machine_.page_bytes, 0);
+  }
+
+  static constexpr std::uint64_t kBase = 0x400000;
+
+  topo::MachineConfig machine_;
+  MemorySystem ms_;
+};
+
+TEST_F(MigrateTest, StraddlingObjectMovesEveryPageItTouches) {
+  // An object overlapping the tail of page 0 and the head of page 1: the
+  // migration grain is the page, so both pages rebind (footnote 2: "the
+  // migration of entire pages spanned by the object").
+  const std::uint64_t pb = machine_.page_bytes;
+  const std::uint64_t obj = kBase + pb - 64;
+  const std::uint64_t cost = ms_.migrate(0, obj, 128, 9);
+  EXPECT_EQ(ms_.pages().home_of_bound(kBase), 9u);
+  EXPECT_EQ(ms_.pages().home_of_bound(kBase + pb), 9u);
+  EXPECT_EQ(cost, 2 * machine_.lat.page_copy);
+  EXPECT_EQ(ms_.monitor().proc(0).pages_migrated, 2u);
+}
+
+TEST_F(MigrateTest, SubPageRangeMovesItsWholePageOnly) {
+  ms_.migrate(0, kBase + 100, 8, 4);
+  EXPECT_EQ(ms_.pages().home_of_bound(kBase), 4u);
+  // The neighbouring page is untouched.
+  EXPECT_EQ(ms_.pages().home_of_bound(kBase + machine_.page_bytes), 0u);
+}
+
+TEST_F(MigrateTest, HomeLookupFollowsMigration) {
+  EXPECT_EQ(ms_.home_of(kBase, 5), 0u);
+  ms_.migrate(0, kBase, 8, 7);
+  EXPECT_EQ(ms_.home_of(kBase, 5), 7u);
+}
+
+TEST_F(MigrateTest, DirtyLineIsWrittenBackBeforeRebinding) {
+  ms_.access(5, kBase, 8, true, 0);  // proc 5 holds the line dirty
+  ms_.migrate(0, kBase, 8, 9);
+  EXPECT_EQ(ms_.monitor().proc(5).writebacks, 1u);
+  // No stale dirty copy remains: the new home services the next miss from
+  // its local memory at local latency.
+  const auto lat = ms_.access(9, kBase, 8, false, 1000);
+  EXPECT_GE(lat, machine_.lat.local_mem);
+  EXPECT_LT(lat, machine_.lat.remote_mem);
+  EXPECT_EQ(
+      ms_.monitor().proc(9).serviced[static_cast<int>(Service::kLocalMem)],
+      1u);
+}
+
+TEST_F(MigrateTest, ConcurrentSharersStayCoherentAcrossMigration) {
+  // Two processors in different clusters share the line; a migration lands
+  // between their accesses. Both cached copies are flushed, the re-reads are
+  // serviced by the new home, and write-invalidate still works afterwards.
+  ms_.access(0, kBase, 8, false, 0);
+  ms_.access(9, kBase, 8, false, 10);
+  ms_.migrate(0, kBase, 8, 9);
+
+  const auto l9 = ms_.access(9, kBase, 8, false, 100);
+  EXPECT_GE(l9, machine_.lat.local_mem);  // miss (copy flushed), now local
+  EXPECT_LT(l9, machine_.lat.remote_mem);
+  const auto l0 = ms_.access(0, kBase, 8, false, 200);
+  EXPECT_GE(l0, machine_.lat.remote_mem);  // proc 0's cluster lost the page
+
+  ms_.access(9, kBase, 8, true, 300);
+  EXPECT_GE(ms_.monitor().proc(0).invals_received, 1u);
+}
+
+TEST_F(MigrateTest, MigrationDuringActiveWriteSharingKeepsDirectorySane) {
+  // A writer dirties the line, another processor migrates the page away
+  // mid-stream, the writer re-dirties it, and a second migration has to
+  // write that copy back too.
+  ms_.access(3, kBase, 8, true, 0);
+  ms_.migrate(0, kBase, machine_.page_bytes, 12);
+  EXPECT_EQ(ms_.monitor().proc(3).writebacks, 1u);
+  ms_.access(3, kBase, 8, true, 50);  // clean re-miss, dirty again
+  ms_.migrate(3, kBase, machine_.page_bytes, 3);
+  EXPECT_EQ(ms_.monitor().proc(3).writebacks, 2u);
+  EXPECT_EQ(ms_.pages().home_of_bound(kBase), 3u);
+  const auto lat = ms_.access(3, kBase, 8, false, 100);
+  EXPECT_GE(lat, machine_.lat.local_mem);
+  EXPECT_LT(lat, machine_.lat.remote_mem);
+}
+
+TEST_F(MigrateTest, RejectsBadArguments) {
+  EXPECT_THROW(ms_.migrate(99, kBase, 8, 0), util::Error);
+  EXPECT_THROW(ms_.migrate(0, kBase, 8, 99), util::Error);
+  EXPECT_THROW(ms_.migrate(0, kBase, 0, 1), util::Error);
+}
+
+}  // namespace
+}  // namespace cool::mem

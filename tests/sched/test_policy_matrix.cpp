@@ -25,6 +25,8 @@ std::vector<PolicyCase> policy_matrix() {
   {
     auto p = base;
     p.steal_enabled = false;
+    p.steal_whole_sets = false;  // validate_policy: no steal flags without
+                                 // steal_enabled.
     cases.push_back({"no_steal", p});
   }
   {
