@@ -50,7 +50,7 @@ struct Bench {
 
 // Quick args keep every bench under a few seconds while still exercising the
 // full pipeline (multiple processor counts, all variants).
-constexpr std::array<Bench, 17> kFleet{{
+constexpr std::array<Bench, 18> kFleet{{
     {"tab01_affinity_hints", "--procs=8 --objects=32 --obj-kb=16 --tasks-per-obj=4", ""},
     {"fig03_gauss_affinity", "--max-procs=8 --n=64", ""},
     {"fig06_ocean_speedup", "--max-procs=8 --n=64 --grids=2 --steps=2", ""},
@@ -67,6 +67,7 @@ constexpr std::array<Bench, 17> kFleet{{
     {"abl_multi_object", "--procs=8 --pairs=16 --tasks-per-pair=2", ""},
     {"abl_latency_ratio", "--procs=8 --n=64 --grids=2 --steps=2", ""},
     {"abl_adaptive", "--procs=8 --quick", ""},
+    {"abl_balancer", "--procs=8 --quick", ""},
     {"micro_sched_throughput", "--max-threads=4 --tasks=20000 --warmup=0", ""},
 }};
 
@@ -227,6 +228,13 @@ bool obs_metrics(const Value& rec,
   out.emplace_back("obs:mem.remote_miss_ratio",
                    misses > 0.0 ? num("mem.remote_misses") / misses : 0.0);
   out.emplace_back("obs:mem.invals_sent", num("mem.invals_sent"));
+  // Balancer activity (PR 6). Records written before the balancer existed
+  // lack these keys; num() reads them as 0, so --compare against an old
+  // baseline sees no spurious diff under the default (inactive) balancer.
+  out.emplace_back("obs:sched.balance.commands", num("sched.balance.commands"));
+  out.emplace_back("obs:sched.balance.moves", num("sched.balance.moves"));
+  out.emplace_back("obs:sched.balance.reserve_hits",
+                   num("sched.balance.reserve_hits"));
   return true;
 }
 

@@ -45,7 +45,9 @@ AdaptiveEngine::AdaptiveEngine(const topo::MachineConfig& machine,
     : machine_(machine),
       pol_(policy),
       hooks_(std::move(hooks)),
-      gov_(policy.confirm_epochs, policy.cooldown_epochs) {}
+      gov_(policy.confirm_epochs, policy.cooldown_epochs),
+      bal_gov_(policy.confirm_epochs, policy.cooldown_epochs,
+               policy.balancer_dwell_epochs, policy.balancer_max_switches) {}
 
 std::uint64_t AdaptiveEngine::on_task_dispatch(topo::ProcId proc,
                                                std::uint64_t now) {
@@ -144,6 +146,26 @@ std::uint64_t AdaptiveEngine::run_epoch(topo::ProcId proc, std::uint64_t now) {
     f.kind = obs::AdviceKind::kStealStorm;
     f.subject = "scheduler";
     record(f, "steal_object_tasks=off (data spread)", now + cost, 0);
+  }
+
+  // Revert the balancer escalation once the pile-up has drained: the Average
+  // balancer's periodic equalisation is pure overhead on a balanced machine,
+  // and reverting restores the Stealing balancer's byte-identical default
+  // probe order. The BalancerGovernor's dwell keeps the switch and its revert
+  // at least one dwell window apart, and the revert consumes one of the
+  // lifetime switch slots like any other swap.
+  if (switched_balancer_ && queued_max * 2 < machine_.n_procs &&
+      hooks_.mutate_policy && hooks_.policy &&
+      hooks_.policy().balancer == sched::BalancerKind::kAverage &&
+      bal_gov_.admit("balancer:stealing", epoch_)) {
+    hooks_.mutate_policy([](sched::Policy& p) {
+      p.balancer = sched::BalancerKind::kStealing;
+    });
+    switched_balancer_ = false;
+    obs::advisor::Finding f;
+    f.kind = obs::AdviceKind::kIdleImbalance;
+    f.subject = "scheduler";
+    record(f, "balancer=stealing (pile-up drained)", now + cost, 0);
   }
   return cost;
 }
@@ -275,13 +297,33 @@ std::uint64_t AdaptiveEngine::act(const obs::advisor::Finding& f,
       }
       if (f.queued_max * 2 < machine_.n_procs) return 0;
       const sched::Policy p = hooks_.policy();
-      if (!p.steal_enabled || p.steal_object_tasks) return 0;
-      if (!gov_.admit("policy:steal_object_tasks", epoch_)) return 0;
-      hooks_.mutate_policy(
-          [](sched::Policy& pol) { pol.steal_object_tasks = true; });
-      enabled_steal_object_ = true;
-      rehomes_since_enable_ = 0;
-      record(f, "steal_object_tasks=on (queue pile-up)", now, 0);
+      if (!p.steal_enabled) return 0;
+      if (!p.steal_object_tasks) {
+        if (!pol_.enable_steal_policy) return 0;
+        if (!gov_.admit("policy:steal_object_tasks", epoch_)) return 0;
+        hooks_.mutate_policy(
+            [](sched::Policy& pol) { pol.steal_object_tasks = true; });
+        enabled_steal_object_ = true;
+        rehomes_since_enable_ = 0;
+        record(f, "steal_object_tasks=on (queue pile-up)", now, 0);
+        return 0;
+      }
+      // Escalation: the steal-policy relief is already on and the pile-up is
+      // still here — on-demand stealing drains one task per idle probe, which
+      // cannot keep up with a producer that refills the deep queue. Switch
+      // the balancer to Average, whose kMoveTasks commands pull a queue down
+      // to the level mean in one grab. Only escalate from the Stealing
+      // default: a user-selected Average/Reserve balancer is not ours to
+      // replace.
+      if (!pol_.enable_balancer || p.balancer != sched::BalancerKind::kStealing) {
+        return 0;
+      }
+      if (!bal_gov_.admit("balancer:average", epoch_)) return 0;
+      hooks_.mutate_policy([](sched::Policy& pol) {
+        pol.balancer = sched::BalancerKind::kAverage;
+      });
+      switched_balancer_ = true;
+      record(f, "balancer=average (pile-up persists)", now, 0);
       return 0;
     }
     case obs::AdviceKind::kStealStorm: {

@@ -14,7 +14,14 @@
 //      (task-affinity rule), exactly the hint gauss adds by hand;
 //   3. steal policy — flip Policy::steal_object_tasks / steal_whole_sets and
 //      cap the steal-scan length when the steal-storm / idle-imbalance /
-//      whole-set rules fire.
+//      whole-set rules fire;
+//   4. balancer policy (opt-in, AdaptPolicy::enable_balancer) — switch
+//      Policy::balancer from the default Stealing balancer to the Average
+//      balancer when a queue pile-up persists *after* the steal-policy
+//      relief, and back once the pile-up drains. Switches route through
+//      Scheduler::adapt_policy, which rebuilds the balancer tree at the
+//      epoch boundary; a dedicated BalancerGovernor (dwell + lifetime cap)
+//      paces them because a swap is the most disruptive actuator.
 //
 // Epochs are task-count (or sim-cycle) driven; each epoch diffs the profiler
 // and metric snapshots against the previous epoch so rules judge *recent*
@@ -95,6 +102,9 @@ class AdaptiveEngine {
   [[nodiscard]] std::uint64_t epochs() const noexcept { return epoch_; }
   [[nodiscard]] const AdaptPolicy& policy() const noexcept { return pol_; }
   [[nodiscard]] const Governor& governor() const noexcept { return gov_; }
+  [[nodiscard]] const BalancerGovernor& balancer_governor() const noexcept {
+    return bal_gov_;
+  }
 
  private:
   std::uint64_t run_epoch(topo::ProcId proc, std::uint64_t now);
@@ -109,6 +119,11 @@ class AdaptiveEngine {
   AdaptPolicy pol_;
   Hooks hooks_;
   Governor gov_;
+  BalancerGovernor bal_gov_;
+  /// True while the balancer actuator holds the scheduler away from the
+  /// Stealing default; the revert path only fires for our own switches, so
+  /// a user-selected Average/Reserve balancer is never "reverted".
+  bool switched_balancer_ = false;
   std::uint64_t epoch_ = 0;
   std::uint64_t tasks_since_ = 0;
   std::uint64_t last_epoch_cycle_ = 0;

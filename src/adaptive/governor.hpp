@@ -67,4 +67,53 @@ class Governor {
   std::map<std::string, State> states_;
 };
 
+/// Governor specialised for balancer-policy switches. A balancer swap is the
+/// most disruptive actuator — it rebuilds the per-level balancer tree and
+/// changes the probe order of every later steal — so on top of the plain
+/// Governor's confirm/cooldown gate it enforces two extra dampers:
+///
+///   * dwell — at least `dwell_epochs` epochs must separate any two admitted
+///     switches, across *all* decision classes (switching to Average and
+///     right back to Stealing inside one dwell window is exactly the thrash
+///     this exists to stop), and
+///   * a lifetime cap — at most `max_switches` admitted switches per run.
+///
+/// Note the dwell/cap refusal happens *after* the base admit, so a refused
+/// switch still consumes the class's streak and starts its cooldown; the
+/// next attempt must re-confirm from scratch. That is intentional: pressure
+/// observed during a dwell window is stale by the time the window opens.
+class BalancerGovernor {
+ public:
+  BalancerGovernor(std::uint32_t confirm_epochs, std::uint32_t cooldown_epochs,
+                   std::uint32_t dwell_epochs, std::uint32_t max_switches)
+      : gov_(confirm_epochs, cooldown_epochs),
+        dwell_(dwell_epochs),
+        max_switches_(max_switches) {}
+
+  /// Record that the switch class `key` wants to fire in `epoch` and decide
+  /// whether the switch may happen now.
+  bool admit(const std::string& key, std::uint64_t epoch) {
+    if (!gov_.admit(key, epoch)) return false;
+    if (switches_ >= max_switches_) return false;
+    if (last_switch_ != kNever && epoch < last_switch_ + dwell_) return false;
+    ++switches_;
+    last_switch_ = epoch;
+    return true;
+  }
+
+  [[nodiscard]] std::uint32_t switches() const noexcept { return switches_; }
+  [[nodiscard]] std::uint64_t last_switch_epoch() const noexcept {
+    return last_switch_;
+  }
+  [[nodiscard]] const Governor& base() const noexcept { return gov_; }
+
+ private:
+  static constexpr std::uint64_t kNever = ~0ull;
+  Governor gov_;
+  std::uint32_t dwell_;
+  std::uint32_t max_switches_;
+  std::uint32_t switches_ = 0;
+  std::uint64_t last_switch_ = kNever;
+};
+
 }  // namespace cool::adaptive

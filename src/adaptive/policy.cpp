@@ -21,6 +21,9 @@ std::string AdaptPolicy::to_json() const {
   w.key("enable_distribute").bool_value(enable_distribute);
   w.key("enable_hints").bool_value(enable_hints);
   w.key("enable_steal_policy").bool_value(enable_steal_policy);
+  w.key("enable_balancer").bool_value(enable_balancer);
+  w.key("balancer_dwell_epochs").uint_value(balancer_dwell_epochs);
+  w.key("balancer_max_switches").uint_value(balancer_max_switches);
   w.key("rules").begin_object();
   w.key("min_misses").uint_value(rules.min_misses);
   w.key("dominant_frac").number_value(rules.dominant_frac);
@@ -98,7 +101,12 @@ AdaptPolicy parse_adapt_policy(const std::string& json_text) {
     else if (key == "enable_distribute") p.enable_distribute = as_bool(v, key);
     else if (key == "enable_hints") p.enable_hints = as_bool(v, key);
     else if (key == "enable_steal_policy") p.enable_steal_policy = as_bool(v, key);
-    else if (key == "rules") apply_rules(v, p.rules);
+    else if (key == "enable_balancer") p.enable_balancer = as_bool(v, key);
+    else if (key == "balancer_dwell_epochs") {
+      p.balancer_dwell_epochs = static_cast<std::uint32_t>(as_uint(v, key));
+    } else if (key == "balancer_max_switches") {
+      p.balancer_max_switches = static_cast<std::uint32_t>(as_uint(v, key));
+    } else if (key == "rules") apply_rules(v, p.rules);
     else throw util::Error("adapt policy: unknown key '" + key + "'");
   }
   if (p.epoch_tasks == 0 && p.epoch_cycles == 0) {

@@ -39,6 +39,18 @@ struct AdaptPolicy {
   bool enable_distribute = true;
   bool enable_hints = true;
   bool enable_steal_policy = true;
+  /// Fourth actuator: switch the scheduler's balancer policy (Policy::
+  /// balancer) at epoch boundaries. Off by default — a balancer swap rebuilds
+  /// the per-level balancer tree and changes the probe order of every later
+  /// steal, so it is the most disruptive actuator and must be asked for.
+  bool enable_balancer = false;
+
+  /// Balancer-actuator pacing (only read when enable_balancer): a switch is
+  /// admitted at most once per `balancer_dwell_epochs` epochs (on top of the
+  /// governor's confirm/cooldown), and at most `balancer_max_switches` times
+  /// per run so a pathological workload cannot thrash the balancer tree.
+  std::uint32_t balancer_dwell_epochs = 6;
+  std::uint32_t balancer_max_switches = 4;
 
   /// Rule thresholds, applied to per-epoch deltas. Defaults lower the
   /// offline advisor's absolute floors to per-epoch scale.

@@ -13,7 +13,11 @@ namespace cool {
 
 Runtime::Runtime(SystemConfig cfg) : cfg_(cfg) {
   cfg_.machine.validate();
-  sched::validate_policy(cfg_.policy, cfg_.machine);
+  // The Reserve balancer needs profiled heat; --adapt under the simulation
+  // engine constructs the profiler even without --profile.
+  const bool profile_available =
+      cfg_.profile || (cfg_.adapt && cfg_.mode == SystemConfig::Mode::kSim);
+  sched::validate_policy(cfg_.policy, cfg_.machine, profile_available);
   obs_ = std::make_unique<obs::Registry>(cfg_.machine.n_procs);
   if (cfg_.mode == SystemConfig::Mode::kSim) {
     sim_ = std::make_unique<SimEngine>(cfg_.machine, cfg_.policy, cfg_.costs,
@@ -34,6 +38,37 @@ Runtime::Runtime(SystemConfig cfg) : cfg_(cfg) {
     } else {
       thr_->attach_profiler(prof_.get());
     }
+    // Close the profiler -> scheduler loop for the Reserve balancer: its heat
+    // source is the profiler's per-object stall attribution, translated from
+    // arena-relative addresses back to the raw pointers place() sees. The
+    // cluster homing the most serviced misses owns the object's hot pages.
+    sched::Scheduler& sch = sim_ ? sim_->scheduler() : thr_->scheduler();
+    sch.set_hotness_source([this] {
+      std::vector<sched::DataHotness> out;
+      const obs::ProfileSnapshot snap = prof_->snapshot();
+      const std::uint64_t base = reinterpret_cast<std::uint64_t>(arena_);
+      for (const obs::ProfileSnapshot::ObjectRow& o : snap.objects) {
+        if (o.anonymous || o.s.stall_cycles == 0) continue;
+        std::uint64_t best_misses = 0;
+        topo::ClusterId best_cluster = 0;
+        for (std::size_t c = 0; c < o.miss_home_cluster.size(); ++c) {
+          if (o.miss_home_cluster[c] > best_misses) {  // ties: lowest cluster
+            best_misses = o.miss_home_cluster[c];
+            best_cluster = static_cast<topo::ClusterId>(c);
+          }
+        }
+        if (best_misses == 0) continue;  // no serviced misses yet: cold
+        out.push_back({o.addr + base, o.bytes, best_cluster, o.s.stall_cycles});
+      }
+      std::sort(out.begin(), out.end(),
+                [](const sched::DataHotness& a, const sched::DataHotness& b) {
+                  if (a.heat != b.heat) return a.heat > b.heat;
+                  return a.addr < b.addr;
+                });
+      constexpr std::size_t kTop = 16;
+      if (out.size() > kTop) out.resize(kTop);
+      return out;
+    });
   }
   if (cfg_.race_check && sim_) {
     race_ = std::make_unique<analysis::RaceDetector>(cfg_.machine);
@@ -198,6 +233,9 @@ obs::Snapshot Runtime::obs_snapshot() const {
   put("sched.remote_cluster_steals", ss.remote_cluster_steals);
   put("sched.failed_steal_scans", ss.failed_steal_scans);
   put("sched.resumes", ss.resumes);
+  put("sched.balance.commands", ss.balance_commands);
+  put("sched.balance.moves", ss.balance_moves);
+  put("sched.balance.reserve_hits", ss.reserve_hits);
 
   const sched::Scheduler& sch =
       sim_ ? sim_->scheduler() : thr_->scheduler();

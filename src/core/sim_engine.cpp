@@ -141,7 +141,16 @@ void SimEngine::spawn_record(TaskRecord* rec, Ctx* spawner) {
   }
   live_recs_.insert(rec);
   ++live_;
-  sched_.place(&rec->desc, from);
+  const topo::ProcId server = sched_.place(&rec->desc, from);
+  // Reservation decisions land in the trace. Reading the descriptor after
+  // place() is safe here only because the simulation engine is
+  // single-threaded; the threaded engine must not imitate this.
+  if (trace_ && rec->desc.reserved) {
+    const std::uint64_t now = procs_[from].clock;
+    trace_->buf(from).record(obs::Event{now, now, server, 1, from,
+                                        obs::EventKind::kBalance,
+                                        obs::kBalanceReserve});
+  }
   wake_parked();
 }
 
@@ -191,6 +200,15 @@ void SimEngine::step(topo::ProcId p) {
       if (trace_) {
         trace_->buf(p).record(obs::Event{pr.clock, pr.clock, acq.victim, 1, p,
                                          obs::EventKind::kSteal, 0});
+      }
+    } else if (acq.moved) {
+      // A balancer move crosses the same interconnect a steal does.
+      overhead = machine_.same_cluster(p, acq.victim) ? costs_.steal_local
+                                                      : costs_.steal_remote;
+      if (trace_) {
+        trace_->buf(p).record(obs::Event{pr.clock, pr.clock, acq.victim, 1, p,
+                                         obs::EventKind::kBalance,
+                                         obs::kBalanceMove});
       }
     }
     pr.clock += overhead;

@@ -126,6 +126,20 @@ std::string chrome_trace_json(const std::vector<Event>& events,
         w.key("decision").uint_value(e.a);
         w.end_object();
         break;
+      case EventKind::kBalance:
+        w.key("name").string(e.flags == kBalanceReserve ? "balance reserve"
+                                                        : "balance move");
+        w.key("cat").string("sched");
+        w.key("ph").string("i");
+        w.key("s").string("t");
+        w.key("ts").uint_value(e.start);
+        w.key("pid").uint_value(0);
+        w.key("tid").uint_value(e.proc);
+        w.key("args").begin_object();
+        w.key(e.flags == kBalanceReserve ? "target" : "src").uint_value(e.a);
+        w.key("tasks").uint_value(e.b);
+        w.end_object();
+        break;
     }
     w.end_object();
   }

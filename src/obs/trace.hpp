@@ -30,7 +30,14 @@ enum class EventKind : std::uint8_t {
   kIdleGap,       ///< Processor waited for a task's data/ready time.
   kAdaptation,    ///< Adaptive-runtime decision: a=decision index into the
                   ///< adaptation log, b=rule (obs::AdviceKind).
+  kBalance,       ///< Balancer decision: a=source server (move) or target
+                  ///< server (reservation), b=tasks affected; flags carry
+                  ///< the decision kind (kBalanceMove / kBalanceReserve).
 };
+
+/// kBalance flag values (which balancer decision the event records).
+constexpr std::uint8_t kBalanceMove = 0;     ///< kMoveTasks executed.
+constexpr std::uint8_t kBalanceReserve = 1;  ///< Placement reservation.
 
 /// TaskSpan flag bits.
 constexpr std::uint8_t kSpanStolen = 0x1;     ///< Acquired by stealing.

@@ -92,16 +92,21 @@ TaskDesc* ServerQueues::pop() {
   return t;
 }
 
-std::vector<TaskDesc*> ServerQueues::steal_set_locked(bool allow_pinned) {
+std::vector<TaskDesc*> ServerQueues::steal_set_locked(bool allow_pinned,
+                                                      bool allow_reserved) {
   // Steal the set least likely to be serviced soon: prefer anything over the
   // active set (which the owner is draining), and skip pinned sets unless
   // allowed.
   auto eligible = [&](AffSlot* s) {
-    if (allow_pinned) return true;
+    if (allow_pinned && allow_reserved) return true;
     // Check every queued task: hash collisions can put a pinned set and an
     // unpinned set in the same slot, and the whole slot moves on a steal.
     for (const TaskDesc* t : s->tasks) {
-      if (t->aff.has_processor() || t->aff.has_object()) return false;
+      if (!allow_pinned &&
+          (t->aff.has_processor() || t->aff.has_object())) {
+        return false;
+      }
+      if (!allow_reserved && t->reserved) return false;
     }
     return !s->tasks.empty();
   };
@@ -128,30 +133,35 @@ std::vector<TaskDesc*> ServerQueues::steal_set_locked(bool allow_pinned) {
   return set;
 }
 
-std::vector<TaskDesc*> ServerQueues::steal_set(bool allow_pinned) {
+std::vector<TaskDesc*> ServerQueues::steal_set(bool allow_pinned,
+                                               bool allow_reserved) {
   std::lock_guard g(mu_);
-  std::vector<TaskDesc*> set = steal_set_locked(allow_pinned);
+  std::vector<TaskDesc*> set = steal_set_locked(allow_pinned, allow_reserved);
   maybe_check_locked();
   return set;
 }
 
 TrySteal ServerQueues::try_steal_set(std::vector<TaskDesc*>& out,
-                                     bool allow_pinned) {
+                                     bool allow_pinned, bool allow_reserved) {
   std::unique_lock l(mu_, std::try_to_lock);
   if (!l.owns_lock()) return TrySteal::kBusy;
-  out = steal_set_locked(allow_pinned);
+  out = steal_set_locked(allow_pinned, allow_reserved);
   maybe_check_locked();
   return out.empty() ? TrySteal::kEmpty : TrySteal::kGot;
 }
 
-TaskDesc* ServerQueues::steal_object_task_locked(bool allow_pinned) {
+TaskDesc* ServerQueues::steal_object_task_locked(bool allow_pinned,
+                                                 bool allow_reserved) {
   TaskDesc* t = nullptr;
-  if (allow_pinned) {
+  if (allow_pinned && allow_reserved) {
     t = object_q_.pop_back();
   } else {
-    // Scan for the youngest task without placement hints.
+    // Scan for the youngest eligible task: hint-free unless pins are allowed,
+    // unreserved unless reservations are up for grabs.
     for (TaskDesc* cand : object_q_) {
-      if (cand->aff.is_none()) t = cand;
+      if (!allow_pinned && !cand->aff.is_none()) continue;
+      if (!allow_reserved && cand->reserved) continue;
+      t = cand;
     }
     if (t != nullptr) TaskList::erase(t);
   }
@@ -163,20 +173,51 @@ TaskDesc* ServerQueues::steal_object_task_locked(bool allow_pinned) {
   return t;
 }
 
-TaskDesc* ServerQueues::steal_object_task(bool allow_pinned) {
+TaskDesc* ServerQueues::steal_object_task(bool allow_pinned,
+                                          bool allow_reserved) {
   std::lock_guard g(mu_);
-  TaskDesc* t = steal_object_task_locked(allow_pinned);
+  TaskDesc* t = steal_object_task_locked(allow_pinned, allow_reserved);
   maybe_check_locked();
   return t;
 }
 
-TrySteal ServerQueues::try_steal_object_task(TaskDesc*& out,
-                                             bool allow_pinned) {
+TrySteal ServerQueues::try_steal_object_task(TaskDesc*& out, bool allow_pinned,
+                                             bool allow_reserved) {
   std::unique_lock l(mu_, std::try_to_lock);
   if (!l.owns_lock()) return TrySteal::kBusy;
-  out = steal_object_task_locked(allow_pinned);
+  out = steal_object_task_locked(allow_pinned, allow_reserved);
   maybe_check_locked();
   return out != nullptr ? TrySteal::kGot : TrySteal::kEmpty;
+}
+
+TrySteal ServerQueues::try_move_tasks(std::vector<TaskDesc*>& out,
+                                      std::uint32_t max_tasks) {
+  std::unique_lock l(mu_, std::try_to_lock);
+  if (!l.owns_lock()) return TrySteal::kBusy;
+  out.clear();
+  auto take = [&](TaskDesc* t) {
+    t->moved = true;
+    out.push_back(t);
+    ++popped_;
+    size_.fetch_sub(1, std::memory_order_relaxed);
+  };
+  // Youngest object-queue tasks first (least likely to be popped soon), then
+  // whole affinity slots from the back so moved sets stay contiguous on the
+  // destination.
+  while (out.size() < max_tasks) {
+    TaskDesc* t = object_q_.pop_back();
+    if (t == nullptr) break;
+    take(t);
+  }
+  while (out.size() < max_tasks) {
+    AffSlot* s = nonempty_.front();
+    if (s == nullptr) break;
+    TaskDesc* t = s->tasks.pop_back();
+    take(t);
+    on_slot_pop(*s);
+  }
+  maybe_check_locked();
+  return out.empty() ? TrySteal::kEmpty : TrySteal::kGot;
 }
 
 void ServerQueues::adopt(const std::vector<TaskDesc*>& set,

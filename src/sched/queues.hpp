@@ -70,21 +70,38 @@ class ServerQueues {
   /// non-empty affinity queue. With `allow_pinned == false`, sets whose tasks
   /// also carry PROCESSOR or OBJECT placement are skipped — the programmer
   /// pinned them deliberately (e.g. LocusRoute's per-region processor hints).
-  /// Empty result means no set to steal.
-  std::vector<TaskDesc*> steal_set(bool allow_pinned = true);
+  /// With `allow_reserved == false`, sets holding Reserve-balancer
+  /// reservations are skipped too (cross-cluster thieves must not undo a
+  /// reservation; same-cluster thieves pass true). Empty result means no set
+  /// to steal.
+  std::vector<TaskDesc*> steal_set(bool allow_pinned = true,
+                                   bool allow_reserved = true);
 
   /// Steal a single task from the back of the object-affinity queue.
   /// With `allow_pinned == false`, tasks carrying OBJECT or PROCESSOR
   /// affinity are skipped ("tasks scheduled with object-affinity should
   /// preferably not be stolen", paper §4.2) and only hint-free tasks are
-  /// taken. Returns nullptr if nothing stealable.
-  TaskDesc* steal_object_task(bool allow_pinned = true);
+  /// taken; with `allow_reserved == false`, Reserve-balancer reservations
+  /// are skipped. Returns nullptr if nothing stealable.
+  TaskDesc* steal_object_task(bool allow_pinned = true,
+                              bool allow_reserved = true);
 
   /// Non-blocking variants for thieves: `try_lock` the queue and steal, or
   /// report kBusy without waiting so a steal scan never convoys behind the
   /// owner. On kGot the stolen set/task is written to `out`.
-  TrySteal try_steal_set(std::vector<TaskDesc*>& out, bool allow_pinned = true);
-  TrySteal try_steal_object_task(TaskDesc*& out, bool allow_pinned = true);
+  TrySteal try_steal_set(std::vector<TaskDesc*>& out, bool allow_pinned = true,
+                         bool allow_reserved = true);
+  TrySteal try_steal_object_task(TaskDesc*& out, bool allow_pinned = true,
+                                 bool allow_reserved = true);
+
+  /// Non-blocking balancer-move extraction: `try_lock` and pop up to
+  /// `max_tasks` tasks — youngest-first from the object queue, then from the
+  /// affinity slots — marking each `moved`. Moves serve the Average
+  /// balancer's equalization and deliberately ignore affinity pins and
+  /// reservations (the balancer decided balance beats locality here). The
+  /// caller adopts the batch onto the destination server.
+  TrySteal try_move_tasks(std::vector<TaskDesc*>& out,
+                          std::uint32_t max_tasks);
 
   /// Adopt tasks stolen as a set: they keep their affinity key and are queued
   /// back-to-back on this server.
@@ -152,8 +169,9 @@ class ServerQueues {
   void on_slot_pop(AffSlot& slot);
   void push_locked(TaskDesc* t);
   TaskDesc* pop_locked();
-  std::vector<TaskDesc*> steal_set_locked(bool allow_pinned);
-  TaskDesc* steal_object_task_locked(bool allow_pinned);
+  std::vector<TaskDesc*> steal_set_locked(bool allow_pinned,
+                                          bool allow_reserved);
+  TaskDesc* steal_object_task_locked(bool allow_pinned, bool allow_reserved);
   void check_locked() const;
   /// Paranoid mode: re-validate after every mutation, while still holding
   /// the lock the mutation ran under.

@@ -1,47 +1,11 @@
 #include "sched/scheduler.hpp"
 
+#include <string>
+
 #include "common/check.hpp"
 #include "common/error.hpp"
 
 namespace cool::sched {
-
-void validate_policy(const Policy& policy, const topo::MachineConfig& machine) {
-  if (!policy.steal_enabled) {
-    if (policy.steal_whole_sets || policy.steal_pinned_sets ||
-        policy.steal_object_tasks) {
-      throw util::Error(
-          "invalid scheduler policy: steal_whole_sets/steal_pinned_sets/"
-          "steal_object_tasks have no effect with steal_enabled=false — "
-          "clear them or enable stealing");
-    }
-    if (policy.cluster_first || policy.cluster_only) {
-      throw util::Error(
-          "invalid scheduler policy: cluster_first/cluster_only scope the "
-          "steal scan, which steal_enabled=false disables entirely");
-    }
-    if (policy.max_steal_scan != 0) {
-      throw util::Error(
-          "invalid scheduler policy: max_steal_scan caps the steal scan, "
-          "which steal_enabled=false disables entirely");
-    }
-  }
-  if (policy.steal_pinned_sets && !policy.steal_whole_sets) {
-    throw util::Error(
-        "invalid scheduler policy: steal_pinned_sets refines whole-set "
-        "stealing and requires steal_whole_sets=true");
-  }
-  if (policy.cluster_first && policy.cluster_only) {
-    throw util::Error(
-        "invalid scheduler policy: cluster_first and cluster_only are "
-        "mutually exclusive scan scopes — pick one");
-  }
-  if (policy.cluster_only && machine.n_clusters() <= 1) {
-    throw util::Error(
-        "invalid scheduler policy: cluster_only on a machine with a single "
-        "cluster cannot restrict anything — drop the flag or use more "
-        "clusters");
-  }
-}
 
 Scheduler::Scheduler(const topo::MachineConfig& machine, Policy policy,
                      HomeFn home)
@@ -49,6 +13,7 @@ Scheduler::Scheduler(const topo::MachineConfig& machine, Policy policy,
       policy_(policy),
       home_(std::move(home)),
       stats_(machine.n_procs),
+      cmd_scratch_(machine.n_procs),
       run_track_(machine.n_procs) {
   COOL_CHECK(home_ != nullptr, "scheduler needs a home resolver");
   COOL_CHECK(policy_.affinity_array_size >= 1, "affinity array size must be >= 1");
@@ -56,6 +21,37 @@ Scheduler::Scheduler(const topo::MachineConfig& machine, Policy policy,
     queues_.emplace_back(policy_.affinity_array_size);
     queues_.back().set_owner(static_cast<topo::ProcId>(p));
     gates_.emplace_back();
+  }
+  levels_ = topo::enumerate_levels(machine_);
+  built_kind_ = policy_.balancer;
+  rebuild_balancers();
+}
+
+void Scheduler::rebuild_balancers() {
+  balancers_.clear();
+  reserve_ = nullptr;
+  balancers_.reserve(levels_.size());
+  for (const topo::TopoLevel& lvl : levels_) {
+    balancers_.push_back(make_balancer(policy_.balancer, lvl, machine_, policy_));
+  }
+  if (policy_.balancer == BalancerKind::kReserve) {
+    reserve_ = static_cast<ReserveBalancer*>(
+        balancers_[topo::kMachineLevel].get());
+    if (hotness_fn_) reserve_->set_hotness(hotness_fn_);
+  }
+  register_balance_obs();
+}
+
+void Scheduler::set_hotness_source(HotnessFn fn) {
+  hotness_fn_ = std::move(fn);
+  if (reserve_ != nullptr) reserve_->set_hotness(hotness_fn_);
+}
+
+void Scheduler::adapt_policy(const std::function<void(Policy&)>& fn) {
+  fn(policy_);
+  if (policy_.balancer != built_kind_) {
+    built_kind_ = policy_.balancer;
+    rebuild_balancers();
   }
 }
 
@@ -77,10 +73,29 @@ void Scheduler::for_each_queued(
 }
 
 void Scheduler::attach_obs(obs::Registry& reg) {
+  obs_reg_ = &reg;
   obs_idle_sleeps_ = reg.counter("sched.idle.sleeps");
   obs_idle_wakeups_ = reg.counter("sched.idle.wakeups");
   obs_steal_scan_ = reg.histogram("sched.steal_scan_victims");
   obs_run_length_ = reg.histogram("sched.affinity_run_length");
+  register_balance_obs();
+}
+
+void Scheduler::register_balance_obs() {
+  if (obs_reg_ == nullptr || policy_.balancer == BalancerKind::kStealing) {
+    return;
+  }
+  if (!obs_balance_commands_.attached()) {
+    obs_balance_commands_ = obs_reg_->counter("sched.balance.commands");
+    obs_balance_moves_ = obs_reg_->counter("sched.balance.moves");
+  }
+  if (policy_.balancer == BalancerKind::kReserve && obs_reserve_hits_.empty()) {
+    obs_reserve_hits_.reserve(machine_.n_clusters());
+    for (std::uint32_t c = 0; c < machine_.n_clusters(); ++c) {
+      obs_reserve_hits_.push_back(obs_reg_->counter(
+          "sched.balance.reserve_hits.cluster" + std::to_string(c)));
+    }
+  }
 }
 
 void Scheduler::note_run(topo::ProcId proc, std::uint64_t key) {
@@ -204,6 +219,28 @@ topo::ProcId Scheduler::place(TaskDesc* t, topo::ProcId spawner) {
     }
   }
 
+  t->reserved = false;
+  if (policy_.balancer == BalancerKind::kReserve && reserve_ != nullptr &&
+      policy_.honor_affinity && !t->aff.has_processor() &&
+      !t->aff.has_multi() && (t->aff.has_object() || t->aff.has_task())) {
+    // Hotness-directed reservation: instead of waiting for idleness to
+    // migrate work, pre-place the task on the cluster homing its hot data
+    // and mark it reserved so other clusters' thieves leave it there. The
+    // affinity object is the hotness key (the whole set shares it, so the
+    // set lands together).
+    const std::uint64_t key =
+        t->aff.has_object() ? t->aff.object_obj : t->aff.task_obj;
+    if (const auto target = reserve_->reserve_target(key, queues_)) {
+      server = *target;
+      t->reserved = true;
+      st.reserve_hits.fetch_add(1, std::memory_order_relaxed);
+      const topo::ClusterId tc = machine_.cluster_of(server);
+      if (tc < obs_reserve_hits_.size()) {
+        obs_reserve_hits_[tc].add(spawner);
+      }
+    }
+  }
+
   if (t->aff.has_task()) {
     t->aff_key = t->aff.task_obj / machine_.line_bytes;
   } else {
@@ -211,6 +248,7 @@ topo::ProcId Scheduler::place(TaskDesc* t, topo::ProcId spawner) {
   }
   t->server = server;
   t->stolen = false;
+  t->moved = false;
   queues_[server].push(t);
   // `t` is live on a queue now — another thread may already own it.
   signal_work(server);
@@ -239,9 +277,14 @@ TaskDesc* Scheduler::try_steal(topo::ProcId thief, topo::ProcId victim,
   ServerQueues& q = queues_[victim];
   if (q.empty()) return nullptr;
   StatShard& st = stats_.shard(thief);
+  // Reserve-balancer placements are protected from cross-cluster theft (the
+  // reservation put them with their hot data); same-cluster thieves may
+  // still take them, preserving intra-cluster balance. Under other policies
+  // no task is ever reserved, so this changes nothing.
+  const bool allow_reserved = machine_.same_cluster(thief, victim);
   if (policy_.steal_whole_sets) {
     std::vector<TaskDesc*> set;
-    switch (q.try_steal_set(set, policy_.steal_pinned_sets)) {
+    switch (q.try_steal_set(set, policy_.steal_pinned_sets, allow_reserved)) {
       case TrySteal::kBusy:
         // Owner (or another thief) holds the victim's lock; don't convoy —
         // remember the contention and move on to the next victim.
@@ -264,7 +307,8 @@ TaskDesc* Scheduler::try_steal(topo::ProcId thief, topo::ProcId victim,
     }
   }
   TaskDesc* t = nullptr;
-  switch (q.try_steal_object_task(t, policy_.steal_object_tasks)) {
+  switch (
+      q.try_steal_object_task(t, policy_.steal_object_tasks, allow_reserved)) {
     case TrySteal::kBusy:
       busy = true;
       return nullptr;
@@ -272,6 +316,32 @@ TaskDesc* Scheduler::try_steal(topo::ProcId thief, topo::ProcId victim,
       st.tasks_stolen.fetch_add(1, std::memory_order_relaxed);
       t->server = thief;
       return t;
+    case TrySteal::kEmpty:
+      break;
+  }
+  return nullptr;
+}
+
+TaskDesc* Scheduler::exec_move(topo::ProcId thief, const BalanceCommand& cmd,
+                               bool& busy) {
+  ServerQueues& q = queues_[cmd.src];
+  if (q.empty() || cmd.max_tasks == 0) return nullptr;
+  StatShard& st = stats_.shard(thief);
+  std::vector<TaskDesc*> moved;
+  switch (q.try_move_tasks(moved, cmd.max_tasks)) {
+    case TrySteal::kBusy:
+      busy = true;
+      return nullptr;
+    case TrySteal::kGot: {
+      st.balance_moves.fetch_add(moved.size(), std::memory_order_relaxed);
+      obs_balance_moves_.add(thief, moved.size());
+      // Like whole-set stealing: adopt the batch and take the first runnable
+      // task under one hold of the thief's own lock, then wake sleepers for
+      // the rest of the batch.
+      TaskDesc* t = queues_[thief].adopt_and_pop(moved, thief);
+      signal_work(thief);
+      return t;
+    }
     case TrySteal::kEmpty:
       break;
   }
@@ -290,70 +360,63 @@ Scheduler::Acquired Scheduler::acquire(topo::ProcId proc) {
   }
   if (!policy_.steal_enabled || machine_.n_procs == 1) return out;
 
-  // Victim scan: deterministic order starting after the thief. With
-  // cluster_first, scan the thief's cluster before the rest; with
-  // cluster_only, never leave the cluster.
-  const std::uint32_t P = machine_.n_procs;
-  bool busy = false;
-  std::uint64_t probed = 0;
-  auto scan = [&](bool same_cluster_pass) -> TaskDesc* {
-    for (std::uint32_t i = 1; i < P; ++i) {
-      if (policy_.max_steal_scan != 0 && probed >= policy_.max_steal_scan) {
-        break;
-      }
-      const auto victim = static_cast<topo::ProcId>((proc + i) % P);
-      const bool same = machine_.same_cluster(proc, victim);
-      if (same_cluster_pass != same) continue;
-      ++probed;
-      if (TaskDesc* t = try_steal(proc, victim, busy)) {
-        st.steals.fetch_add(1, std::memory_order_relaxed);
-        out.stolen = true;
-        out.stolen_remote_cluster = !same;
-        out.victim = victim;
-        if (!same) {
-          st.remote_cluster_steals.fetch_add(1, std::memory_order_relaxed);
-        }
-        return t;
-      }
-    }
-    return nullptr;
-  };
-
-  if (policy_.cluster_first || policy_.cluster_only) {
-    if (TaskDesc* t = scan(/*same_cluster_pass=*/true)) {
-      obs_steal_scan_.observe(proc, probed);
-      note_run(proc, t->aff_key);
-      out.task = t;
-      return out;
-    }
-    if (policy_.cluster_only) {
-      st.failed_steal_scans.fetch_add(1, std::memory_order_relaxed);
-      obs_steal_scan_.observe(proc, probed);
-      out.contended = busy;
-      return out;
-    }
-    if (TaskDesc* t = scan(/*same_cluster_pass=*/false)) {
-      obs_steal_scan_.observe(proc, probed);
-      note_run(proc, t->aff_key);
-      out.task = t;
-      return out;
-    }
+  // Balancer chain for this thief: each level's balancer generates explicit
+  // commands which are executed here in order. The default chain is just the
+  // machine-level balancer (the paper's flat scan); cluster_first runs the
+  // thief's cluster level first and the machine level (which then skips the
+  // thief's cluster) second; cluster_only — and the Average balancer's
+  // balance_within_clusters — never leave the cluster level.
+  std::size_t chain[2];
+  std::size_t chain_len = 0;
+  const std::size_t cl = topo::cluster_level(machine_.cluster_of(proc));
+  if (policy_.cluster_first) {
+    chain[chain_len++] = cl;
+    chain[chain_len++] = topo::kMachineLevel;
+  } else if (policy_.cluster_only) {
+    chain[chain_len++] = cl;
+  } else if (policy_.balancer == BalancerKind::kAverage &&
+             policy_.balance_within_clusters) {
+    chain[chain_len++] = cl;
   } else {
-    for (std::uint32_t i = 1; i < P; ++i) {
+    chain[chain_len++] = topo::kMachineLevel;
+  }
+
+  bool busy = false;
+  std::uint64_t probed = 0;  ///< kTrySteal commands executed (scan length).
+  bool capped = false;
+  for (std::size_t c = 0; c < chain_len && !capped; ++c) {
+    std::vector<BalanceCommand>& cmds = cmd_scratch_[proc].cmds;
+    cmds.clear();
+    balancers_[chain[c]]->generate(proc, queues_, cmds);
+    for (const BalanceCommand& cmd : cmds) {
       if (policy_.max_steal_scan != 0 && probed >= policy_.max_steal_scan) {
+        capped = true;
         break;
       }
-      const auto victim = static_cast<topo::ProcId>((proc + i) % P);
-      ++probed;
-      if (TaskDesc* t = try_steal(proc, victim, busy)) {
-        st.steals.fetch_add(1, std::memory_order_relaxed);
-        out.stolen = true;
-        const bool same = machine_.same_cluster(proc, victim);
-        out.stolen_remote_cluster = !same;
-        out.victim = victim;
-        if (!same) {
-          st.remote_cluster_steals.fetch_add(1, std::memory_order_relaxed);
+      st.balance_commands.fetch_add(1, std::memory_order_relaxed);
+      obs_balance_commands_.add(proc);
+      TaskDesc* t = nullptr;
+      if (cmd.op == BalanceCommand::Op::kTrySteal) {
+        ++probed;
+        t = try_steal(proc, cmd.src, busy);
+        if (t != nullptr) {
+          st.steals.fetch_add(1, std::memory_order_relaxed);
+          out.stolen = true;
+          const bool same = machine_.same_cluster(proc, cmd.src);
+          out.stolen_remote_cluster = !same;
+          out.victim = cmd.src;
+          if (!same) {
+            st.remote_cluster_steals.fetch_add(1, std::memory_order_relaxed);
+          }
         }
+      } else {
+        t = exec_move(proc, cmd, busy);
+        if (t != nullptr) {
+          out.moved = true;
+          out.victim = cmd.src;
+        }
+      }
+      if (t != nullptr) {
         obs_steal_scan_.observe(proc, probed);
         note_run(proc, t->aff_key);
         out.task = t;
@@ -409,6 +472,9 @@ SchedStats Scheduler::stats() const {
     acc.failed_steal_scans +=
         s.failed_steal_scans.load(std::memory_order_relaxed);
     acc.resumes += s.resumes.load(std::memory_order_relaxed);
+    acc.balance_commands += s.balance_commands.load(std::memory_order_relaxed);
+    acc.balance_moves += s.balance_moves.load(std::memory_order_relaxed);
+    acc.reserve_hits += s.reserve_hits.load(std::memory_order_relaxed);
   });
 }
 

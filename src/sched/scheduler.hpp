@@ -32,49 +32,20 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <unordered_set>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "obs/metrics.hpp"
+#include "sched/balancer.hpp"
+#include "sched/policy.hpp"
 #include "sched/queues.hpp"
+#include "topology/levels.hpp"
 #include "topology/machine.hpp"
 
 namespace cool::sched {
-
-struct Policy {
-  std::size_t affinity_array_size = 64;  ///< Queues per server (paper §5).
-  bool steal_enabled = true;
-  bool steal_whole_sets = true;    ///< Steal task-affinity sets as a unit.
-  bool steal_pinned_sets = false;  ///< Also steal sets pinned by PROCESSOR /
-                                   ///< OBJECT hints (default: respect pins).
-  bool steal_object_tasks = false; ///< Allow stealing tasks pinned by OBJECT /
-                                   ///< PROCESSOR hints (paper: "preferably
-                                   ///< not"; hint-free tasks are always
-                                   ///< stealable).
-  bool cluster_first = false;     ///< Prefer victims in the thief's cluster.
-  bool cluster_only = false;      ///< Never steal outside the cluster.
-  bool honor_affinity = true;     ///< false = ignore all hints (the paper's
-                                  ///< "Base" round-robin scheduling).
-  bool multi_object_placement = true;  ///< Size-weighted placement for
-                                       ///< multi-object affinity (§8); false
-                                       ///< = paper's "first object" fallback.
-  bool prefetch_objects = false;  ///< Prefetch a task's non-local affinity
-                                  ///< objects at dispatch (§8; sim engine).
-  std::uint32_t max_steal_scan = 0;  ///< Cap victims probed per steal scan
-                                     ///< (0 = scan every other server). The
-                                     ///< adaptive runtime sets this when a
-                                     ///< steal storm persists.
-};
-
-/// Reject meaningless Policy flag combinations with a clear error instead of
-/// silently ignoring flags: steal refinements with stealing disabled,
-/// pinned-set stealing without whole-set stealing, cluster-scoped stealing on
-/// a machine with a single cluster, or both cluster modes at once. Called by
-/// Runtime at init; direct Scheduler construction (unit tests) stays
-/// unvalidated on purpose.
-void validate_policy(const Policy& policy, const topo::MachineConfig& machine);
 
 /// Aggregated scheduler counters. This is a point-in-time snapshot: the
 /// scheduler accumulates into per-server shards and `Scheduler::stats()`
@@ -94,6 +65,9 @@ struct SchedStats {
   std::uint64_t remote_cluster_steals = 0;
   std::uint64_t failed_steal_scans = 0;
   std::uint64_t resumes = 0;
+  std::uint64_t balance_commands = 0;  ///< Balancer commands executed.
+  std::uint64_t balance_moves = 0;     ///< Tasks relocated by move commands.
+  std::uint64_t reserve_hits = 0;      ///< Placements redirected by Reserve.
 };
 
 class Scheduler {
@@ -122,6 +96,9 @@ class Scheduler {
     TaskDesc* task = nullptr;
     bool stolen = false;
     bool stolen_remote_cluster = false;
+    /// Task arrived via a balancer kMoveTasks command (Average policy);
+    /// `victim` names the source server, `stolen` stays false.
+    bool moved = false;
     topo::ProcId victim = 0;  ///< Who the task was stolen from (when stolen).
     /// A steal scan skipped at least one victim whose lock was busy. The
     /// caller should retry (spin) instead of sleeping: the busy victim may
@@ -212,8 +189,27 @@ class Scheduler {
   /// the scheduling fast paths, so this is only safe when no concurrent
   /// place/acquire runs — the single-threaded simulation engine between
   /// task dispatches. The adaptive runtime is sim-only for exactly this
-  /// reason.
-  void adapt_policy(const std::function<void(Policy&)>& fn) { fn(policy_); }
+  /// reason. A change of `Policy::balancer` rebuilds the per-level balancer
+  /// instances (the epoch-boundary policy switch under --adapt).
+  void adapt_policy(const std::function<void(Policy&)>& fn);
+
+  // --- Balancer layer -------------------------------------------------------
+
+  /// Install the Reserve balancer's heat source (typically the locality
+  /// profiler). A no-op under other balancer kinds, but the source is
+  /// remembered so an adaptive switch to Reserve picks it up.
+  void set_hotness_source(HotnessFn fn);
+
+  /// The topology levels balancers are instantiated over (machine root
+  /// first, then clusters in id order).
+  [[nodiscard]] const std::vector<topo::TopoLevel>& levels() const noexcept {
+    return levels_;
+  }
+
+  /// The balancer serving `level` (index into levels()).
+  [[nodiscard]] const Balancer& balancer_at(std::size_t level) const {
+    return *balancers_.at(level);
+  }
 
  private:
   /// One server's statistics shard; updated with relaxed atomics by whichever
@@ -233,6 +229,9 @@ class Scheduler {
     std::atomic<std::uint64_t> remote_cluster_steals{0};
     std::atomic<std::uint64_t> failed_steal_scans{0};
     std::atomic<std::uint64_t> resumes{0};
+    std::atomic<std::uint64_t> balance_commands{0};
+    std::atomic<std::uint64_t> balance_moves{0};
+    std::atomic<std::uint64_t> reserve_hits{0};
   };
 
   /// Per-server sleep gate for the idle/wakeup protocol.
@@ -250,10 +249,30 @@ class Scheduler {
     std::uint64_t len = 0;
   };
 
+  /// Per-processor scratch buffer for balancer command generation; touched
+  /// only by the owning processor's acquire() calls (like RunTrack), so the
+  /// vector's capacity is reused scan after scan with no synchronisation.
+  struct alignas(64) CmdScratch {
+    std::vector<BalanceCommand> cmds;
+  };
+
   /// Close the current affinity run (if any) and start one for `key`.
   void note_run(topo::ProcId proc, std::uint64_t key);
 
   TaskDesc* try_steal(topo::ProcId thief, topo::ProcId victim, bool& busy);
+  /// Execute one kMoveTasks command: extract up to max_tasks from the source
+  /// queue, adopt them on the thief, and return the first runnable one.
+  TaskDesc* exec_move(topo::ProcId thief, const BalanceCommand& cmd,
+                      bool& busy);
+  /// (Re)instantiate one balancer per topology level for the current
+  /// policy's kind. Single-threaded callers only (construction, and
+  /// adapt_policy under the simulation engine).
+  void rebuild_balancers();
+  /// Register the balance counters with the attached registry. Registration
+  /// is deliberately lazy and policy-gated: under the default Stealing
+  /// policy no sched.balance.* key ever appears, keeping every existing
+  /// figure's output byte-identical.
+  void register_balance_obs();
   /// Increment the work version; under paranoid checking also advance the
   /// monotonicity floor.
   void bump_version();
@@ -266,6 +285,18 @@ class Scheduler {
   Policy policy_;
   HomeFn home_;
   std::deque<ServerQueues> queues_;  // deque: ServerQueues is not movable
+
+  // Balancer layer: one balancer per topology level, rebuilt when the
+  // policy's kind changes. `reserve_` aliases the machine-level instance
+  // under kReserve (the placement path consults it); levels_ outlives and is
+  // referenced by every balancer.
+  std::vector<topo::TopoLevel> levels_;
+  std::vector<std::unique_ptr<Balancer>> balancers_;
+  BalancerKind built_kind_ = BalancerKind::kStealing;
+  ReserveBalancer* reserve_ = nullptr;
+  HotnessFn hotness_fn_;
+  std::vector<CmdScratch> cmd_scratch_;  ///< One per processor.
+
   util::Sharded<StatShard> stats_;   // per-server shards, summed on read
   std::deque<IdleGate> gates_;       // deque: IdleGate is not movable
   std::atomic<std::uint64_t> work_version_{0};
@@ -288,6 +319,13 @@ class Scheduler {
   obs::Counter obs_idle_wakeups_;
   obs::Histogram obs_steal_scan_;   ///< Victims probed per steal scan.
   obs::Histogram obs_run_length_;   ///< Affinity-set back-to-back run lengths.
+  obs::Counter obs_balance_commands_;  ///< Balancer commands executed.
+  obs::Counter obs_balance_moves_;     ///< Tasks relocated by move commands.
+  /// Per-level reservation counters, indexed by target cluster
+  /// ("sched.balance.reserve_hits.cluster<k>"); registered only under the
+  /// Reserve policy so default-policy output is untouched.
+  std::vector<obs::Counter> obs_reserve_hits_;
+  obs::Registry* obs_reg_ = nullptr;  ///< Remembered for lazy registration.
 };
 
 }  // namespace cool::sched

@@ -9,11 +9,12 @@
 // thread that currently owns it. Ownership transfers exclusively through a
 // ServerQueues enqueue/dequeue (or a wait-list push/pop in core/sync.hpp),
 // whose mutex publishes every prior write of the descriptor to the next
-// owner. Concretely: the placer writes `aff`/`aff_key`/`server`/`stolen`
-// before push and never afterwards; a thief writes `stolen` and `server`
-// under the victim's (resp. its own) queue lock; the worker that pops reads
-// them freely until it re-enqueues or completes the task. No field needs to
-// be atomic under this discipline.
+// owner. Concretely: the placer writes `aff`/`aff_key`/`server`/`stolen`/
+// `reserved` before push and never afterwards; a thief writes `stolen` (a
+// balancer move writes `moved`) and `server` under the victim's (resp. its
+// own) queue lock; the worker that pops reads them freely until it
+// re-enqueues or completes the task. No field needs to be atomic under this
+// discipline.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +34,10 @@ struct TaskDesc {
   topo::ProcId server = 0;       ///< Server queue the task was placed on.
   std::uint64_t aff_key = 0;     ///< Task-affinity set key (0 = no set).
   bool stolen = false;           ///< Set if acquired by a thief.
+  bool reserved = false;         ///< Pre-placed by the Reserve balancer on
+                                 ///< the cluster homing its hot data; thieves
+                                 ///< from other clusters must leave it alone.
+  bool moved = false;            ///< Relocated by a balancer move command.
 
   /// Opaque pointer back to the owning runtime record (core::TaskRecord).
   void* owner = nullptr;

@@ -106,6 +106,70 @@ TEST(AdaptiveEngineSynthetic, ActuatorsCanBeDisabledIndividually) {
   EXPECT_TRUE(eng.log().empty());
 }
 
+TEST(AdaptiveEngineSynthetic, PersistentPileUpEscalatesToAverageBalancer) {
+  SyntheticRig rig;
+  AdaptPolicy p = rig.policy();
+  p.enable_balancer = true;
+  p.balancer_dwell_epochs = 2;
+  AdaptiveEngine eng(rig.machine, p, rig.hooks());
+  // Epoch 1: the pile-up opens object stealing (the existing relief).
+  // Epoch 2: the pile-up persists with the relief on — escalate the balancer.
+  for (std::uint64_t e = 1; e <= 2; ++e) {
+    rig.metrics.values["proc.busy_cycles"] += 100;
+    rig.metrics.values["proc.idle_cycles"] += 900;
+    rig.metrics.values["sched.queue.max_now"] = rig.machine.n_procs / 2;
+    eng.on_task_dispatch(0, e * 1000);
+  }
+  EXPECT_TRUE(rig.live.steal_object_tasks);
+  EXPECT_EQ(rig.live.balancer, sched::BalancerKind::kAverage);
+  ASSERT_EQ(eng.log().size(), 2u);
+  EXPECT_EQ(eng.log()[1].action, "balancer=average (pile-up persists)");
+  EXPECT_EQ(eng.balancer_governor().switches(), 1u);
+
+  // Once the pile-up drains, the escalation reverts to the byte-identical
+  // Stealing default (paced by the dwell + the governor's cooldown).
+  for (std::uint64_t e = 3; e <= 12 &&
+                            rig.live.balancer != sched::BalancerKind::kStealing;
+       ++e) {
+    rig.metrics.values["proc.busy_cycles"] += 1000;
+    rig.metrics.values["sched.queue.max_now"] = 0;
+    eng.on_task_dispatch(0, e * 1000);
+  }
+  EXPECT_EQ(rig.live.balancer, sched::BalancerKind::kStealing);
+  EXPECT_EQ(eng.log().back().action, "balancer=stealing (pile-up drained)");
+  EXPECT_EQ(eng.balancer_governor().switches(), 2u);
+}
+
+TEST(AdaptiveEngineSynthetic, BalancerActuatorIsOffByDefault) {
+  SyntheticRig rig;
+  AdaptiveEngine eng(rig.machine, rig.policy(), rig.hooks());
+  for (std::uint64_t e = 1; e <= 10; ++e) {
+    rig.metrics.values["proc.busy_cycles"] += 100;
+    rig.metrics.values["proc.idle_cycles"] += 900;
+    rig.metrics.values["sched.queue.max_now"] = rig.machine.n_procs / 2;
+    eng.on_task_dispatch(0, e * 1000);
+  }
+  EXPECT_TRUE(rig.live.steal_object_tasks);  // the relief still fires
+  EXPECT_EQ(rig.live.balancer, sched::BalancerKind::kStealing);
+  EXPECT_EQ(eng.balancer_governor().switches(), 0u);
+}
+
+TEST(AdaptiveEngineSynthetic, UserChosenBalancerIsNeverReverted) {
+  SyntheticRig rig;
+  rig.live.balancer = sched::BalancerKind::kAverage;  // user's choice
+  AdaptPolicy p = rig.policy();
+  p.enable_balancer = true;
+  AdaptiveEngine eng(rig.machine, p, rig.hooks());
+  rig.live.steal_object_tasks = true;
+  for (std::uint64_t e = 1; e <= 10; ++e) {
+    rig.metrics.values["proc.busy_cycles"] += 1000;
+    rig.metrics.values["sched.queue.max_now"] = 0;
+    eng.on_task_dispatch(0, e * 1000);
+  }
+  EXPECT_EQ(rig.live.balancer, sched::BalancerKind::kAverage);
+  EXPECT_EQ(eng.balancer_governor().switches(), 0u);
+}
+
 TEST(AdaptiveEngineSynthetic, EpochCostIsChargedToTheDispatcher) {
   SyntheticRig rig;
   AdaptiveEngine eng(rig.machine, rig.policy(), rig.hooks());
@@ -202,11 +266,17 @@ TEST(AdaptPolicyJson, RoundTrips) {
   p.confirm_epochs = 3;
   p.cooldown_epochs = 9;
   p.enable_hints = false;
+  p.enable_balancer = true;
+  p.balancer_dwell_epochs = 11;
+  p.balancer_max_switches = 2;
   p.rules.min_misses = 17;
   const AdaptPolicy q = parse_adapt_policy(p.to_json());
   EXPECT_EQ(q.to_json(), p.to_json());
   EXPECT_EQ(q.epoch_tasks, 7u);
   EXPECT_FALSE(q.enable_hints);
+  EXPECT_TRUE(q.enable_balancer);
+  EXPECT_EQ(q.balancer_dwell_epochs, 11u);
+  EXPECT_EQ(q.balancer_max_switches, 2u);
   EXPECT_EQ(q.rules.min_misses, 17u);
 }
 

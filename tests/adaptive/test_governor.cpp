@@ -62,5 +62,34 @@ TEST(Governor, ClassesAreIndependent) {
   EXPECT_FALSE(g.admit("a", 2));
 }
 
+TEST(BalancerGovernor, DwellSeparatesSwitchesAcrossClasses) {
+  // Unlike the plain governor, the dwell applies across classes: switching
+  // to average and straight back to stealing is exactly the thrash it stops.
+  BalancerGovernor g(1, 0, /*dwell=*/5, /*max_switches=*/10);
+  EXPECT_TRUE(g.admit("balancer:average", 1));
+  EXPECT_FALSE(g.admit("balancer:stealing", 2));  // inside the dwell window
+  EXPECT_FALSE(g.admit("balancer:stealing", 4));
+  EXPECT_TRUE(g.admit("balancer:stealing", 6));
+  EXPECT_EQ(g.switches(), 2u);
+}
+
+TEST(BalancerGovernor, LifetimeCapStopsThrash) {
+  BalancerGovernor g(1, 0, /*dwell=*/0, /*max_switches=*/2);
+  EXPECT_TRUE(g.admit("balancer:average", 1));
+  EXPECT_TRUE(g.admit("balancer:stealing", 2));
+  EXPECT_FALSE(g.admit("balancer:average", 3));
+  EXPECT_FALSE(g.admit("balancer:average", 50));
+  EXPECT_EQ(g.switches(), 2u);
+}
+
+TEST(BalancerGovernor, BaseConfirmAndCooldownStillApply) {
+  BalancerGovernor g(2, 3, /*dwell=*/0, /*max_switches=*/10);
+  EXPECT_FALSE(g.admit("balancer:average", 1));  // streak 1 < confirm 2
+  EXPECT_TRUE(g.admit("balancer:average", 2));
+  EXPECT_FALSE(g.admit("balancer:average", 4));  // cooldown
+  EXPECT_FALSE(g.admit("balancer:average", 5));
+  EXPECT_TRUE(g.admit("balancer:average", 6));
+}
+
 }  // namespace
 }  // namespace cool::adaptive

@@ -1,0 +1,281 @@
+// The hierarchical balancer layer: level enumeration, per-policy command
+// generation, reserve-directed placement with cross-cluster protection, and
+// schedule determinism across repeated runs.
+#include "sched/balancer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/cool.hpp"
+#include "sched/scheduler.hpp"
+#include "topology/levels.hpp"
+
+namespace cool::sched {
+namespace {
+
+topo::ProcId flat_home(std::uint64_t addr, std::uint32_t n_procs) {
+  return static_cast<topo::ProcId>((addr >> 12) % n_procs);
+}
+
+std::deque<ServerQueues> empty_queues(std::uint32_t n, std::size_t slots) {
+  std::deque<ServerQueues> q;
+  for (std::uint32_t i = 0; i < n; ++i) q.emplace_back(slots);
+  return q;
+}
+
+TEST(TopoLevels, EnumerationCoversMachineThenClusters) {
+  const topo::MachineConfig m = topo::MachineConfig::dash(8);
+  ASSERT_GT(m.n_clusters(), 1u);
+  const std::vector<topo::TopoLevel> levels = topo::enumerate_levels(m);
+  ASSERT_EQ(levels.size(), 1 + m.n_clusters());
+  EXPECT_EQ(levels[topo::kMachineLevel].kind, topo::TopoLevel::Kind::kMachine);
+  EXPECT_EQ(levels[topo::kMachineLevel].members.size(), m.n_procs);
+  for (topo::ClusterId c = 0; c < m.n_clusters(); ++c) {
+    const topo::TopoLevel& lvl = levels[topo::cluster_level(c)];
+    EXPECT_EQ(lvl.kind, topo::TopoLevel::Kind::kCluster);
+    EXPECT_EQ(lvl.cluster, c);
+    EXPECT_EQ(lvl.members.size(), m.procs_per_cluster);
+    for (const topo::ProcId p : lvl.members) {
+      EXPECT_EQ(m.cluster_of(p), c);
+      EXPECT_TRUE(lvl.contains(p));
+    }
+  }
+}
+
+TEST(StealingBalancer, EmitsTheClassicRingScan) {
+  const topo::MachineConfig m = topo::MachineConfig::dash(8);
+  const Policy pol;
+  const auto levels = topo::enumerate_levels(m);
+  const auto b = make_balancer(BalancerKind::kStealing,
+                               levels[topo::kMachineLevel], m, pol);
+  const auto queues = empty_queues(m.n_procs, pol.affinity_array_size);
+  std::vector<BalanceCommand> cmds;
+  b->generate(3, queues, cmds);
+  ASSERT_EQ(cmds.size(), m.n_procs - 1);
+  const topo::ProcId want[] = {4, 5, 6, 7, 0, 1, 2};
+  for (std::size_t i = 0; i < cmds.size(); ++i) {
+    EXPECT_EQ(cmds[i].op, BalanceCommand::Op::kTrySteal);
+    EXPECT_EQ(cmds[i].src, want[i]) << "ring position " << i;
+  }
+}
+
+TEST(StealingBalancer, ClusterFirstSplitsTheScanAcrossLevels) {
+  const topo::MachineConfig m = topo::MachineConfig::dash(8);
+  Policy pol;
+  pol.cluster_first = true;
+  const auto levels = topo::enumerate_levels(m);
+  const auto queues = empty_queues(m.n_procs, pol.affinity_array_size);
+
+  // Cluster pass: only the thief's cluster-mates, ring order.
+  const topo::ClusterId tc = m.cluster_of(1);
+  const auto cl = make_balancer(BalancerKind::kStealing,
+                                levels[topo::cluster_level(tc)], m, pol);
+  std::vector<BalanceCommand> cmds;
+  cl->generate(1, queues, cmds);
+  for (const BalanceCommand& c : cmds) {
+    EXPECT_EQ(m.cluster_of(c.src), tc);
+    EXPECT_NE(c.src, 1u);
+  }
+  ASSERT_EQ(cmds.size(), m.procs_per_cluster - 1);
+
+  // Machine pass under cluster_first: cluster-mates skipped (already probed).
+  const auto mc = make_balancer(BalancerKind::kStealing,
+                                levels[topo::kMachineLevel], m, pol);
+  cmds.clear();
+  mc->generate(1, queues, cmds);
+  ASSERT_EQ(cmds.size(), m.n_procs - m.procs_per_cluster);
+  for (const BalanceCommand& c : cmds) {
+    EXPECT_NE(m.cluster_of(c.src), tc);
+  }
+}
+
+TEST(AverageBalancer, DrainsOverAverageQueuesInOneGrab) {
+  const topo::MachineConfig m = topo::MachineConfig::dash(8);
+  Policy pol;
+  pol.balancer = BalancerKind::kAverage;
+  Scheduler s(m, pol, [&](std::uint64_t a, topo::ProcId) {
+    return flat_home(a, m.n_procs);
+  });
+
+  // Pile 40 pinned tasks onto processor 0's queue.
+  std::vector<TaskDesc> tasks(40);
+  for (auto& t : tasks) {
+    t.aff = Affinity::processor(0);
+    s.place(&t, 0);
+  }
+
+  // One idle acquire from processor 5 executes a kMoveTasks command that
+  // pulls queue 0 down to the ceiling average in a single grab.
+  const auto acq = s.acquire(5);
+  ASSERT_NE(acq.task, nullptr);
+  EXPECT_TRUE(acq.moved);
+  EXPECT_FALSE(acq.stolen);
+  EXPECT_EQ(acq.victim, 0u);
+  const SchedStats st = s.stats();
+  EXPECT_GE(st.balance_commands, 1u);
+  // ceil(40/8) = 5 stay on the victim; the mover got the rest.
+  EXPECT_EQ(st.balance_moves, 35u);
+
+  // Work conservation: every task still runs exactly once.
+  std::size_t got = 1;
+  for (topo::ProcId p = 0; got < tasks.size(); p = (p + 1) % m.n_procs) {
+    if (s.acquire(p).task != nullptr) ++got;
+  }
+  EXPECT_FALSE(s.any_work());
+}
+
+TEST(ReserveBalancer, PlacesHotKeysOnTheOwningClusterAndProtectsThem) {
+  const topo::MachineConfig m = topo::MachineConfig::dash(8);
+  Policy pol;
+  pol.balancer = BalancerKind::kReserve;
+  pol.steal_object_tasks = true;  // Reservation, not exemption, must protect.
+  pol.reserve_refresh_tasks = 1;
+  Scheduler s(m, pol, [&](std::uint64_t, topo::ProcId) {
+    return static_cast<topo::ProcId>(0);  // Everything homes on proc 0.
+  });
+
+  // Static heat: the object at [0x100000, 0x101000) is hot in cluster 1.
+  s.set_hotness_source([] {
+    return std::vector<DataHotness>{{0x100000, 0x1000, 1, 1000}};
+  });
+
+  // A task keyed inside the hot object is redirected into cluster 1 and
+  // marked reserved; a task keyed elsewhere keeps its home placement.
+  TaskDesc hot;
+  hot.aff = Affinity::object(reinterpret_cast<void*>(0x100400));
+  s.place(&hot, 0);
+  EXPECT_TRUE(hot.reserved);
+  EXPECT_EQ(m.cluster_of(hot.server), 1u);
+
+  TaskDesc cold;
+  cold.aff = Affinity::object(reinterpret_cast<void*>(0x900000));
+  s.place(&cold, 0);
+  EXPECT_FALSE(cold.reserved);
+  EXPECT_EQ(cold.server, 0u);
+  EXPECT_EQ(s.stats().reserve_hits, 1u);
+
+  // Cross-cluster thieves must leave the reserved task alone; a same-cluster
+  // processor may take it.
+  const auto theft = s.acquire(1);  // cluster 0 thief
+  ASSERT_NE(theft.task, nullptr);
+  EXPECT_EQ(theft.task, &cold) << "cross-cluster thief took a reserved task";
+  const auto local = s.acquire(hot.server);
+  ASSERT_NE(local.task, nullptr);
+  EXPECT_EQ(local.task, &hot);
+}
+
+TEST(ReserveBalancer, ColdSourceLeavesPlacementUntouched) {
+  const topo::MachineConfig m = topo::MachineConfig::dash(8);
+  Policy pol;
+  pol.balancer = BalancerKind::kReserve;
+  pol.reserve_refresh_tasks = 1;
+  Scheduler s(m, pol, [&](std::uint64_t a, topo::ProcId) {
+    return flat_home(a, m.n_procs);
+  });
+  // No hotness source installed at all: placement must behave as stealing.
+  TaskDesc t;
+  t.aff = Affinity::object(reinterpret_cast<void*>(0x100400));
+  s.place(&t, 0);
+  EXPECT_FALSE(t.reserved);
+  EXPECT_EQ(t.server, flat_home(0x100400, m.n_procs));
+  EXPECT_EQ(s.stats().reserve_hits, 0u);
+}
+
+TEST(Scheduler, AdaptPolicyRebuildsBalancersOnKindChange) {
+  const topo::MachineConfig m = topo::MachineConfig::dash(8);
+  Policy pol;
+  Scheduler s(m, pol, [&](std::uint64_t a, topo::ProcId) {
+    return flat_home(a, m.n_procs);
+  });
+  ASSERT_EQ(s.levels().size(), 1 + m.n_clusters());
+  EXPECT_NE(dynamic_cast<const StealingBalancer*>(
+                &s.balancer_at(topo::kMachineLevel)),
+            nullptr);
+  s.adapt_policy([](Policy& p) { p.balancer = BalancerKind::kAverage; });
+  EXPECT_NE(dynamic_cast<const AverageBalancer*>(
+                &s.balancer_at(topo::kMachineLevel)),
+            nullptr);
+  s.adapt_policy([](Policy& p) { p.balancer = BalancerKind::kStealing; });
+  EXPECT_EQ(dynamic_cast<const AverageBalancer*>(
+                &s.balancer_at(topo::kMachineLevel)),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace cool::sched
+
+namespace cool {
+namespace {
+
+TaskFn matrix_task(std::vector<std::atomic<int>>* slots, int i, double* blob) {
+  auto& c = co_await self();
+  c.read(&blob[i * 32], 256);
+  c.work(150);
+  (*slots)[static_cast<std::size_t>(i)].fetch_add(1);
+}
+
+struct RunDigest {
+  std::uint64_t sim_time;
+  std::uint64_t steals;
+  std::uint64_t balance_commands;
+  std::uint64_t balance_moves;
+  std::uint64_t reserve_hits;
+};
+
+/// One full simulated run of a mixed-affinity workload under `pol`.
+RunDigest run_once(const sched::Policy& pol, bool profile) {
+  SystemConfig sc;
+  sc.machine = topo::MachineConfig::dash(16);
+  sc.policy = pol;
+  sc.profile = profile;
+  Runtime rt(sc);
+  const int n = 200;
+  double* blob = rt.alloc_array<double>(32 * static_cast<std::size_t>(n), 0);
+  std::vector<std::atomic<int>> slots(static_cast<std::size_t>(n));
+  rt.profile_register("blob", blob, 32 * sizeof(double) *
+                                        static_cast<std::size_t>(n));
+  rt.run([](std::vector<std::atomic<int>>* s, double* b, int count) -> TaskFn {
+    auto& c = co_await self();
+    TaskGroup waitfor;
+    for (int i = 0; i < count; ++i) {
+      const Affinity aff = i % 2 == 0 ? Affinity::object(&b[i * 32])
+                                      : Affinity::task(&b[(i % 7) * 32]);
+      c.spawn(aff, waitfor, matrix_task(s, i, b));
+    }
+    co_await c.wait(waitfor);
+  }(&slots, blob, n));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(slots[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+  }
+  const auto ss = rt.sched_stats();
+  return {rt.sim_time(), ss.steals, ss.balance_commands, ss.balance_moves,
+          ss.reserve_hits};
+}
+
+/// Identical runs must produce identical schedules — the balancer layer adds
+/// no nondeterminism under the single-threaded simulation engine.
+TEST(BalancerDeterminism, RepeatedRunsProduceIdenticalSchedules) {
+  for (const sched::BalancerKind kind :
+       {sched::BalancerKind::kStealing, sched::BalancerKind::kAverage,
+        sched::BalancerKind::kReserve}) {
+    sched::Policy pol;
+    pol.balancer = kind;
+    pol.steal_object_tasks = true;
+    pol.reserve_refresh_tasks = 16;
+    const bool profile = kind == sched::BalancerKind::kReserve;
+    const RunDigest a = run_once(pol, profile);
+    const RunDigest b = run_once(pol, profile);
+    const char* name = sched::balancer_kind_name(kind);
+    EXPECT_EQ(a.sim_time, b.sim_time) << name;
+    EXPECT_EQ(a.steals, b.steals) << name;
+    EXPECT_EQ(a.balance_commands, b.balance_commands) << name;
+    EXPECT_EQ(a.balance_moves, b.balance_moves) << name;
+    EXPECT_EQ(a.reserve_hits, b.reserve_hits) << name;
+  }
+}
+
+}  // namespace
+}  // namespace cool

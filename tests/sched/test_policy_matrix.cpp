@@ -67,6 +67,23 @@ std::vector<PolicyCase> policy_matrix() {
     p.affinity_array_size = 509;
     cases.push_back({"huge_array", p});
   }
+  {
+    auto p = base;
+    p.balancer = sched::BalancerKind::kAverage;
+    cases.push_back({"average_balancer", p});
+  }
+  {
+    auto p = base;
+    p.balancer = sched::BalancerKind::kAverage;
+    p.balance_within_clusters = true;
+    cases.push_back({"average_clustered", p});
+  }
+  {
+    auto p = base;
+    p.balancer = sched::BalancerKind::kReserve;  // Runtime built with the
+                                                 // profiler attached below.
+    cases.push_back({"reserve_balancer", p});
+  }
   return cases;
 }
 
@@ -85,6 +102,8 @@ TEST_P(PolicyMatrix, EveryTaskRunsOnceUnderEveryPolicy) {
   SystemConfig sc;
   sc.machine = topo::MachineConfig::dash(16);
   sc.policy = pc.pol;
+  // The reserve balancer needs the profiler as its hotness sensor.
+  sc.profile = pc.pol.balancer == sched::BalancerKind::kReserve;
   Runtime rt(sc);
   const int n = 300;
   double* blob = rt.alloc_array<double>(32 * static_cast<std::size_t>(n), 0);
@@ -135,7 +154,7 @@ TEST_P(PolicyMatrix, EveryTaskRunsOnceUnderEveryPolicy) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyMatrix,
-                         ::testing::Range(0, 9), [](const auto& pinfo) {
+                         ::testing::Range(0, 12), [](const auto& pinfo) {
                            return policy_matrix()
                                [static_cast<std::size_t>(pinfo.param)]
                                    .name;

@@ -283,6 +283,143 @@ TEST(SchedStress, ParanoidCheckingSurvivesConcurrentChurn) {
   EXPECT_FALSE(s.any_work());
 }
 
+// The same producer/consumer mix under the Average balancer: kMoveTasks
+// batches race with concurrent placers and thieves, and still every task is
+// acquired exactly once. (This is the TSan contract for the move path.)
+TEST(SchedStress, ConcurrentAverageBalancerExactlyOnce) {
+  constexpr std::uint32_t kProcs = 4;
+  constexpr std::size_t kProducers = 2;
+  constexpr std::size_t kPerProducer = 2000;
+  constexpr std::size_t kTotal = kProducers * kPerProducer;
+
+  const topo::MachineConfig machine = topo::MachineConfig::dash(kProcs);
+  Policy pol;
+  pol.balancer = BalancerKind::kAverage;
+  pol.steal_object_tasks = true;
+  Scheduler s(machine, pol, [&](std::uint64_t a, topo::ProcId) {
+    return flat_home(a, kProcs);
+  });
+
+  std::vector<TaskDesc> tasks(kTotal);
+  std::vector<std::atomic<int>> seen(kTotal);
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    tasks[i].seq = i;
+    const std::uint64_t obj = 0x100000ull + (i % 8) * 4096;
+    switch (i % 4) {
+      case 0:
+        tasks[i].aff = Affinity::task(reinterpret_cast<void*>(obj));
+        break;
+      case 1:
+        tasks[i].aff = Affinity::object(reinterpret_cast<void*>(obj));
+        break;
+      default:
+        tasks[i].aff = Affinity::none();
+        break;
+    }
+  }
+
+  std::atomic<std::size_t> acquired{0};
+  std::vector<std::vector<LogEntry>> logs(kProcs);
+  std::vector<std::thread> threads;
+  for (std::size_t pr = 0; pr < kProducers; ++pr) {
+    threads.emplace_back([&, pr] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        // Both producers pile onto processor 0 so over-average queues exist
+        // for the whole run and the move path stays hot.
+        s.place(&tasks[pr * kPerProducer + i], 0);
+      }
+    });
+  }
+  for (std::uint32_t p = 0; p < kProcs; ++p) {
+    threads.emplace_back([&, p] {
+      consume(s, static_cast<topo::ProcId>(p), acquired, kTotal, seen,
+              logs[p]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    EXPECT_EQ(seen[i].load(), 1) << "task " << i << " lost or duplicated";
+  }
+  EXPECT_FALSE(s.any_work());
+  const SchedStats ss = s.stats();
+  EXPECT_EQ(ss.spawned, kTotal);
+}
+
+// The Reserve balancer under concurrency: placements consult the hotness
+// table (guarded by its own mutex) while consumers steal, with reserved
+// tasks protected from cross-cluster theft. Every task still runs once.
+TEST(SchedStress, ConcurrentReserveBalancerExactlyOnce) {
+  constexpr std::uint32_t kProcs = 8;  // two clusters on the DASH shape
+  constexpr std::size_t kProducers = 2;
+  constexpr std::size_t kPerProducer = 2000;
+  constexpr std::size_t kTotal = kProducers * kPerProducer;
+
+  const topo::MachineConfig machine = topo::MachineConfig::dash(kProcs);
+  Policy pol;
+  pol.balancer = BalancerKind::kReserve;
+  pol.steal_object_tasks = true;
+  pol.reserve_refresh_tasks = 64;
+  Scheduler s(machine, pol, [&](std::uint64_t a, topo::ProcId) {
+    return flat_home(a, kProcs);
+  });
+  // Static heat: half the shared objects are hot in cluster 1, so reserved
+  // and unreserved work mixes in every queue.
+  s.set_hotness_source([] {
+    std::vector<DataHotness> hot;
+    for (int o = 0; o < 4; ++o) {
+      hot.push_back({0x100000ull + static_cast<std::uint64_t>(o) * 4096, 4096,
+                     1, static_cast<std::uint64_t>(100 - o)});
+    }
+    return hot;
+  });
+
+  std::vector<TaskDesc> tasks(kTotal);
+  std::vector<std::atomic<int>> seen(kTotal);
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    tasks[i].seq = i;
+    const std::uint64_t obj = 0x100000ull + (i % 8) * 4096;
+    switch (i % 3) {
+      case 0:
+        tasks[i].aff = Affinity::task(reinterpret_cast<void*>(obj));
+        break;
+      case 1:
+        tasks[i].aff = Affinity::object(reinterpret_cast<void*>(obj));
+        break;
+      default:
+        tasks[i].aff = Affinity::none();
+        break;
+    }
+  }
+
+  std::atomic<std::size_t> acquired{0};
+  std::vector<std::vector<LogEntry>> logs(kProcs);
+  std::vector<std::thread> threads;
+  for (std::size_t pr = 0; pr < kProducers; ++pr) {
+    threads.emplace_back([&, pr] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        s.place(&tasks[pr * kPerProducer + i],
+                static_cast<topo::ProcId>(pr % kProcs));
+      }
+    });
+  }
+  for (std::uint32_t p = 0; p < kProcs; ++p) {
+    threads.emplace_back([&, p] {
+      consume(s, static_cast<topo::ProcId>(p), acquired, kTotal, seen,
+              logs[p]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    EXPECT_EQ(seen[i].load(), 1) << "task " << i << " lost or duplicated";
+  }
+  EXPECT_FALSE(s.any_work());
+  const SchedStats ss = s.stats();
+  EXPECT_EQ(ss.spawned, kTotal);
+  EXPECT_GT(ss.reserve_hits, 0u) << "the hotness table never fired";
+}
+
 // The idle protocol: a worker sleeping in wait_for_work wakes when work is
 // placed, and notify_all_waiters releases a sleeper whose give-up predicate
 // turns true.

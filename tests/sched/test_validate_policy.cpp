@@ -60,6 +60,44 @@ TEST(ValidatePolicy, ClusterOnlyNeedsMoreThanOneCluster) {
   EXPECT_THROW(validate_policy(p, one_cluster()), util::Error);
 }
 
+TEST(ValidatePolicy, BalancersNeedTheStealPath) {
+  Policy p;
+  p.steal_enabled = false;
+  p.steal_whole_sets = false;
+  p.balancer = BalancerKind::kAverage;
+  EXPECT_THROW(validate_policy(p, two_clusters()), util::Error);
+  p.balancer = BalancerKind::kReserve;
+  EXPECT_THROW(validate_policy(p, two_clusters(), true), util::Error);
+}
+
+TEST(ValidatePolicy, ReserveNeedsProfileAttribution) {
+  Policy p;
+  p.balancer = BalancerKind::kReserve;
+  EXPECT_THROW(validate_policy(p, two_clusters()), util::Error);
+  EXPECT_NO_THROW(validate_policy(p, two_clusters(), /*profile=*/true));
+}
+
+TEST(ValidatePolicy, WithinClusterBalancingNeedsAverageAndClusters) {
+  Policy p;
+  p.balance_within_clusters = true;
+  // Meaningless for the stealing (and reserve) balancers.
+  EXPECT_THROW(validate_policy(p, two_clusters()), util::Error);
+  p.balancer = BalancerKind::kAverage;
+  EXPECT_NO_THROW(validate_policy(p, two_clusters()));
+  // On one cluster "within the cluster" is the machine level under another
+  // name — reject the no-op request.
+  EXPECT_THROW(validate_policy(p, one_cluster()), util::Error);
+}
+
+TEST(ValidatePolicy, RuntimeInitRejectsReserveWithoutProfile) {
+  SystemConfig sc;
+  sc.machine = two_clusters();
+  sc.policy.balancer = BalancerKind::kReserve;
+  EXPECT_THROW(Runtime rt(sc), util::Error);
+  sc.profile = true;
+  EXPECT_NO_THROW(Runtime rt(sc));
+}
+
 TEST(ValidatePolicy, RuntimeInitRejectsInvalidPolicy) {
   SystemConfig sc;
   sc.machine = two_clusters();
