@@ -8,6 +8,7 @@
 // diffs; route both paths through a bench::Report so they cannot drift.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -18,6 +19,7 @@
 #include "common/options.hpp"
 #include "common/table.hpp"
 #include "core/cool.hpp"
+#include "core/sim_engine.hpp"
 #include "obs/advisor.hpp"
 #include "obs/bench_json.hpp"
 #include "obs/profiler.hpp"
@@ -56,6 +58,15 @@ inline Runtime make_runtime(std::uint32_t procs, const sched::Policy& policy,
   if (!pol_path.empty()) {
     sc.adapt_policy = adaptive::load_adapt_policy(pol_path);
   }
+  const std::int64_t latency_target = opt.get_int("latency-target");
+  if (latency_target > 0) {
+    // --latency-target implies --adapt: the objective lives in the adaptive
+    // engine. An explicit --adapt=policy.json still wins for every other
+    // knob; we only pin the target itself.
+    sc.adapt = true;
+    sc.adapt_policy.latency_target_cycles =
+        static_cast<std::uint64_t>(latency_target);
+  }
   return Runtime(sc);
 }
 
@@ -84,6 +95,10 @@ inline util::Options standard_options(const std::string& name,
       "attach the online adaptive locality runtime to the headline run "
       "(sim only; unlike --profile it charges simulated cycles). "
       "--adapt=<policy.json> overrides the adaptation knobs");
+  opt.add_int("latency-target", 0,
+              "p99 request-latency target in simulated cycles for the "
+              "adaptive runtime's latency objective (implies --adapt; 0 = "
+              "objective off; only request-serving benches feed the sensor)");
   return opt;
 }
 
@@ -137,7 +152,9 @@ class Report {
   explicit Report(const util::Options& opt)
       : rec_(opt.program()),
         opt_(&opt),
-        json_(opt.flag("json") || !opt.get_string("json-out").empty()) {
+        json_(opt.flag("json") || !opt.get_string("json-out").empty()),
+        wall_start_(std::chrono::steady_clock::now()),
+        sim_cycles_start_(cool::total_sim_cycles()) {
     if (json_) {
       rec_.set_config(opt);
       rec_.set_config_entry("build.sanitizer", kSanitizerName);
@@ -263,6 +280,16 @@ class Report {
   /// set, else to stdout. Returns the process exit code.
   int finish() {
     if (!json_) return 0;
+    // Simulator speed: cycles this process simulated while the Report was
+    // live, over the wall time it took. Informational only (runner never
+    // treats it as a regression) — it tracks the simulator's own speed.
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_start_)
+                              .count();
+    const std::uint64_t cycles = cool::total_sim_cycles() - sim_cycles_start_;
+    if (wall_s > 0.0 && cycles > 0) {
+      rec_.set_sim_rate(static_cast<double>(cycles) / wall_s);
+    }
     const std::string& out = opt_->get_string("json-out");
     if (out.empty()) {
       const std::string j = rec_.to_json();
@@ -282,6 +309,8 @@ class Report {
   cool::obs::BenchRecord rec_;
   const util::Options* opt_;
   bool json_;
+  std::chrono::steady_clock::time_point wall_start_;
+  std::uint64_t sim_cycles_start_;
 };
 
 }  // namespace cool::bench

@@ -15,6 +15,8 @@
 //       plus each obs-snapshot counter (steals, failed steal scans,
 //       remote-miss ratio, invalidations) that increased past it, and note
 //       config mismatches that make the comparison apples-to-oranges.
+//       Per-record sim_rate (simulated cycles per wall-second) is printed
+//       for information only; it never fails the comparison.
 //       Exits non-zero when any metric regressed past the threshold. With
 //       --fail-on-regression=PCT the exit status instead tracks only
 //       direction-aware regressions (a speedup shrinking, cycles or steal
@@ -50,7 +52,7 @@ struct Bench {
 
 // Quick args keep every bench under a few seconds while still exercising the
 // full pipeline (multiple processor counts, all variants).
-constexpr std::array<Bench, 18> kFleet{{
+constexpr std::array<Bench, 20> kFleet{{
     {"tab01_affinity_hints", "--procs=8 --objects=32 --obj-kb=16 --tasks-per-obj=4", ""},
     {"fig03_gauss_affinity", "--max-procs=8 --n=64", ""},
     {"fig06_ocean_speedup", "--max-procs=8 --n=64 --grids=2 --steps=2", ""},
@@ -68,6 +70,8 @@ constexpr std::array<Bench, 18> kFleet{{
     {"abl_latency_ratio", "--procs=8 --n=64 --grids=2 --steps=2", ""},
     {"abl_adaptive", "--procs=8 --quick", ""},
     {"abl_balancer", "--procs=8 --quick", ""},
+    {"srv_txn_latency", "--procs=8 --quick", ""},
+    {"abl_srv_skew", "--procs=8 --quick", ""},
     {"micro_sched_throughput", "--max-threads=4 --tasks=20000 --warmup=0", ""},
 }};
 
@@ -201,8 +205,15 @@ Direction shape_direction(const std::string& name) {
   for (const char* s : {"decisions", "home_after"}) {
     if (name.find(s) != std::string::npos) return Direction::kNeutral;
   }
+  // Latency percentiles are checked before the generic win tokens so that a
+  // key like "p99_past_sat" never matches a higher-better substring by
+  // accident: tail latency growing is always the bad direction.
+  for (const char* s : {"p50", "p95", "p99", "p999", "latency"}) {
+    if (name.find(s) != std::string::npos) return Direction::kLowerBetter;
+  }
   for (const char* s :
-       {"local", "over", "recovered", "speedup", "improvement", "peak"}) {
+       {"local", "over", "recovered", "speedup", "improvement", "peak",
+        "served", "throughput"}) {
     if (name.find(s) != std::string::npos) return Direction::kHigherBetter;
   }
   return Direction::kLowerBetter;
@@ -300,6 +311,23 @@ int compare_runs(const std::string& old_dir, const std::string& new_dir,
       if (!same) {
         std::printf("%-28s config.%s differs between runs\n", bench.c_str(),
                     k.c_str());
+      }
+    }
+    // Simulator speed (cycles simulated per wall-second). Purely
+    // informational: it measures the host and the simulator, not the code
+    // under test, so it never counts toward thresholds or regressions.
+    {
+      const Value* sra = a.find("sim_rate");
+      const Value* srb = b.find("sim_rate");
+      if (srb != nullptr && srb->is_number()) {
+        if (sra != nullptr && sra->is_number()) {
+          std::printf("%-28s %-32s %12.4g -> %12.4g  (%+.1f%%, info)\n",
+                      bench.c_str(), "sim_rate(cyc/s)", sra->num, srb->num,
+                      rel_pct(sra->num, srb->num));
+        } else {
+          std::printf("%-28s %-32s %28.4g  (new, info)\n", bench.c_str(),
+                      "sim_rate(cyc/s)", srb->num);
+        }
       }
     }
     for (const auto& [k, va] : a.find("shape")->obj) {

@@ -112,6 +112,9 @@ std::uint64_t AdaptiveEngine::run_epoch(topo::ProcId proc, std::uint64_t now) {
   std::uint64_t cost = pol_.epoch_cost_cycles;
   std::uint32_t actions = 0;
   const std::uint64_t rehomes_before = rehomes_since_enable_;
+  // The latency objective runs before the throughput findings so a serving
+  // workload's tail-latency relief is first in line for the action budget.
+  latency_objective(dm, now + cost, actions);
   for (const obs::advisor::Finding& f : findings) {
     if (actions >= pol_.max_actions_per_epoch) break;
     const std::size_t before = log_.size();
@@ -153,8 +156,13 @@ std::uint64_t AdaptiveEngine::run_epoch(topo::ProcId proc, std::uint64_t now) {
   // and reverting restores the Stealing balancer's byte-identical default
   // probe order. The BalancerGovernor's dwell keeps the switch and its revert
   // at least one dwell window apart, and the revert consumes one of the
-  // lifetime switch slots like any other swap.
-  if (switched_balancer_ && queued_max * 2 < machine_.n_procs &&
+  // lifetime switch slots like any other swap. In serving mode the latency
+  // objective owns the switch AND its revert: a shallow queue here just
+  // means the escalation is *working* — under sustained hot-key load the
+  // revert would reopen the very pile-up it is celebrating, so it defers to
+  // the ladder's p99-headroom revert instead.
+  if (pol_.latency_target_cycles == 0 && switched_balancer_ &&
+      queued_max * 2 < machine_.n_procs &&
       hooks_.mutate_policy && hooks_.policy &&
       hooks_.policy().balancer == sched::BalancerKind::kAverage &&
       bal_gov_.admit("balancer:stealing", epoch_)) {
@@ -170,8 +178,112 @@ std::uint64_t AdaptiveEngine::run_epoch(topo::ProcId proc, std::uint64_t now) {
   return cost;
 }
 
+void AdaptiveEngine::latency_objective(const obs::Snapshot& dm,
+                                       std::uint64_t now,
+                                       std::uint32_t& actions) {
+  if (pol_.latency_target_cycles == 0 || !latency_sensor_) return;
+  if (!hooks_.mutate_policy || !hooks_.policy) return;
+  const obs::LatencyHist cur = latency_sensor_();
+  const obs::LatencyHist delta = cur.diff(prev_latency_);
+  prev_latency_ = cur;
+  // Too few completions to trust a tail estimate: an epoch that completed
+  // almost nothing while requests pile up will trip the ladder next epoch,
+  // when the queued requests complete with their queueing delay on record.
+  if (delta.count() < pol_.latency_min_samples) return;
+  const std::uint64_t p99 = delta.quantile(0.99);
+  const std::uint64_t target = pol_.latency_target_cycles;
+
+  obs::advisor::Finding f;
+  f.kind = obs::AdviceKind::kLatencyTarget;
+  f.subject = "requests";
+  if (auto it = dm.values.find("sched.queue.max_now"); it != dm.values.end()) {
+    f.queued_max = it->second;
+  }
+
+  if (p99 > target) {
+    if (actions >= pol_.max_actions_per_epoch) return;
+    const sched::Policy p = hooks_.policy();
+    if (!p.steal_enabled) return;
+    // Rung 1: escalate to the Average balancer's batched moves (opt-in, and
+    // only from the Stealing default: a user-chosen balancer stays). Moves
+    // are the *gentle* relief for a hot-key tail: they relocate only the
+    // over-average part of the overlong queue, youngest first, and leave
+    // every other server's placement untouched.
+    if (pol_.enable_balancer &&
+        p.balancer == sched::BalancerKind::kStealing) {
+      if (!bal_gov_.admit("balancer:average", epoch_)) return;
+      hooks_.mutate_policy([](sched::Policy& pol) {
+        pol.balancer = sched::BalancerKind::kAverage;
+      });
+      switched_balancer_ = true;
+      record(f,
+             fmt("balancer=average (p99 %" PRIu64 " > target %" PRIu64 ")",
+                 p99, target),
+             now, 0);
+      ++actions;
+      return;
+    }
+    // Rung 2: the tail is still over target (or the balancer actuator is
+    // off) — open pin-break stealing so every idle probe can take OBJECT-
+    // pinned requests. This is the aggressive last resort, not the first
+    // move: stolen requests run their critical sections with remote data,
+    // which inflates monitor hold times on exactly the hot keys the tail
+    // is queued behind. Give rung 1 a full balancer dwell first: right
+    // after the switch the completing backlog still carries its
+    // pre-escalation queueing delay, so the epoch p99 lags the fix.
+    if (switched_balancer_ &&
+        epoch_ < bal_gov_.last_switch_epoch() + pol_.balancer_dwell_epochs) {
+      return;
+    }
+    if (!p.steal_object_tasks) {
+      if (!gov_.admit("latency:steal_object_tasks", epoch_)) return;
+      hooks_.mutate_policy(
+          [](sched::Policy& pol) { pol.steal_object_tasks = true; });
+      latency_relief_on_ = true;
+      record(f,
+             fmt("steal_object_tasks=on (p99 %" PRIu64 " > target %" PRIu64
+                 ")",
+                 p99, target),
+             now, 0);
+      ++actions;
+    }
+    return;
+  }
+
+  // Relief revert: only the steal flag comes back down, and only with real
+  // headroom (p99 at or under half the target), so the ladder cannot
+  // oscillate on a tail that hovers at the target. The balancer escalation
+  // is deliberately *not* reverted while the objective is active: a good
+  // epoch p99 after the switch means the escalation is working, and
+  // switching back mid-trace lets the hot-key queue rebuild for every
+  // arrival still to come. Pin-break stealing, by contrast, has a real
+  // ongoing cost (remote critical sections) worth shedding once the tail
+  // clears.
+  if (latency_relief_on_ && p99 * 2 <= target &&
+      hooks_.policy().steal_object_tasks) {
+    if (!gov_.admit("latency:steal_object_tasks", epoch_)) return;
+    hooks_.mutate_policy(
+        [](sched::Policy& pol) { pol.steal_object_tasks = false; });
+    latency_relief_on_ = false;
+    record(f,
+           fmt("steal_object_tasks=off (p99 %" PRIu64 " <= target/2)", p99),
+           now, 0);
+  }
+}
+
 std::uint64_t AdaptiveEngine::act(const obs::advisor::Finding& f,
                                   topo::ProcId proc, std::uint64_t now) {
+  // Serving mode: a latency target states the user's objective, and every
+  // throughput-heuristic actuator below was tuned for batch programs with
+  // no notion of a tail. Data-plane churn (migrating or re-homing the hot
+  // object mid-trace, promoting its requests into back-to-back sets) and
+  // pin-break stealing all *raise* a hot-key p99 — the latency ladder
+  // (latency_objective) is the only actuator that evaluates its actions
+  // against the stated objective, so the rest stand down. The steal-storm
+  // scan cap stays available: bounding failed scans is objective-neutral.
+  if (pol_.latency_target_cycles != 0 && f.kind != obs::AdviceKind::kStealStorm) {
+    return 0;
+  }
   switch (f.kind) {
     case obs::AdviceKind::kMigrateObject: {
       if (!pol_.enable_migrate || !hooks_.migrate) return 0;
@@ -296,6 +408,13 @@ std::uint64_t AdaptiveEngine::act(const obs::advisor::Finding& f,
         return 0;
       }
       if (f.queued_max * 2 < machine_.n_procs) return 0;
+      // With a latency target set, the latency objective owns the
+      // steal_object_tasks knob and the balancer escalation: its ladder
+      // tries batched moves first because pin-break stealing makes a
+      // hot-key tail *worse* (stolen requests hold their monitors over
+      // remote data). The throughput-oriented pile-up relief here would
+      // fight that ordering, so it stands down.
+      if (pol_.latency_target_cycles != 0) return 0;
       const sched::Policy p = hooks_.policy();
       if (!p.steal_enabled) return 0;
       if (!p.steal_object_tasks) {
@@ -332,7 +451,9 @@ std::uint64_t AdaptiveEngine::act(const obs::advisor::Finding& f,
       }
       const sched::Policy p = hooks_.policy();
       if (!p.steal_enabled) return 0;
-      if (!p.steal_object_tasks) {
+      // In serving mode the latency ladder owns the steal knob (see the
+      // stand-down above) — fall through to the objective-neutral scan cap.
+      if (!p.steal_object_tasks && pol_.latency_target_cycles == 0) {
         // Idle processors scan but find nothing stealable: the usual cause
         // is every task carrying OBJECT affinity (default-steal-exempt).
         // Letting object tasks be stolen is the least intrusive relief.
@@ -356,6 +477,10 @@ std::uint64_t AdaptiveEngine::act(const obs::advisor::Finding& f,
       }
       return 0;
     }
+    case obs::AdviceKind::kLatencyTarget:
+      // Never emitted by the advisor: the latency objective acts directly
+      // (latency_objective), outside the findings loop.
+      return 0;
   }
   return 0;
 }

@@ -45,6 +45,7 @@
 #include "adaptive/governor.hpp"
 #include "adaptive/policy.hpp"
 #include "obs/advisor_rules.hpp"
+#include "obs/latency_hist.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "sched/scheduler.hpp"
@@ -94,6 +95,15 @@ class AdaptiveEngine {
   /// value is the cycles to charge to `proc` (0 between epochs).
   std::uint64_t on_task_dispatch(topo::ProcId proc, std::uint64_t now);
 
+  /// Attach (or detach, with nullptr) the latency sensor feeding the
+  /// AdaptPolicy::latency_target_cycles objective: a snapshot of the
+  /// serving layer's *cumulative* per-request latency histogram (the
+  /// load::Driver's). Each epoch diffs consecutive snapshots, so the engine
+  /// judges the epoch's own p99, not the run-so-far's. Sim-thread only.
+  void set_latency_sensor(std::function<obs::LatencyHist()> sensor) {
+    latency_sensor_ = std::move(sensor);
+  }
+
   [[nodiscard]] const std::vector<Decision>& log() const noexcept {
     return log_;
   }
@@ -108,6 +118,11 @@ class AdaptiveEngine {
 
  private:
   std::uint64_t run_epoch(topo::ProcId proc, std::uint64_t now);
+  /// The latency-target objective: compare this epoch's p99 against the
+  /// policy target and climb/descend the relief ladder. Shares the per-epoch
+  /// action budget via `actions`.
+  void latency_objective(const obs::Snapshot& dm, std::uint64_t now,
+                         std::uint32_t& actions);
   /// Apply one finding through its actuator; returns cycles charged and
   /// appends to log_ iff it acted.
   std::uint64_t act(const obs::advisor::Finding& f, topo::ProcId proc,
@@ -143,6 +158,12 @@ class AdaptiveEngine {
   std::set<std::string> done_;
   obs::ProfileSnapshot prev_profile_;
   obs::Snapshot prev_metrics_;
+  /// Latency-target objective state: the sensor (cumulative request
+  /// histogram), the previous epoch's snapshot for deltas, and whether the
+  /// steal relief currently on was ours (so only we revert it).
+  std::function<obs::LatencyHist()> latency_sensor_;
+  obs::LatencyHist prev_latency_;
+  bool latency_relief_on_ = false;
   std::vector<Decision> log_;
 };
 

@@ -22,6 +22,8 @@ std::string AdaptPolicy::to_json() const {
   w.key("enable_hints").bool_value(enable_hints);
   w.key("enable_steal_policy").bool_value(enable_steal_policy);
   w.key("enable_balancer").bool_value(enable_balancer);
+  w.key("latency_target_cycles").uint_value(latency_target_cycles);
+  w.key("latency_min_samples").uint_value(latency_min_samples);
   w.key("balancer_dwell_epochs").uint_value(balancer_dwell_epochs);
   w.key("balancer_max_switches").uint_value(balancer_max_switches);
   w.key("rules").begin_object();
@@ -102,7 +104,11 @@ AdaptPolicy parse_adapt_policy(const std::string& json_text) {
     else if (key == "enable_hints") p.enable_hints = as_bool(v, key);
     else if (key == "enable_steal_policy") p.enable_steal_policy = as_bool(v, key);
     else if (key == "enable_balancer") p.enable_balancer = as_bool(v, key);
-    else if (key == "balancer_dwell_epochs") {
+    else if (key == "latency_target_cycles") {
+      p.latency_target_cycles = as_uint(v, key);
+    } else if (key == "latency_min_samples") {
+      p.latency_min_samples = as_uint(v, key);
+    } else if (key == "balancer_dwell_epochs") {
       p.balancer_dwell_epochs = static_cast<std::uint32_t>(as_uint(v, key));
     } else if (key == "balancer_max_switches") {
       p.balancer_max_switches = static_cast<std::uint32_t>(as_uint(v, key));

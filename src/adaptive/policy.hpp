@@ -45,6 +45,18 @@ struct AdaptPolicy {
   /// steal, so it is the most disruptive actuator and must be asked for.
   bool enable_balancer = false;
 
+  /// Latency-target objective (0 = off, the throughput-only default). When
+  /// set and a latency sensor is attached (AdaptiveEngine::
+  /// set_latency_sensor — the load::Driver's request histogram), each epoch
+  /// diffs the sensor's cumulative histogram and reads the *epoch's* p99:
+  /// above the target the engine climbs a relief ladder (let OBJECT tasks be
+  /// stolen, then escalate the balancer if enable_balancer), and once p99
+  /// falls to half the target it reverts its own steal relief. Units are
+  /// simulated cycles of per-request latency.
+  std::uint64_t latency_target_cycles = 0;
+  /// Minimum completed requests in an epoch before its p99 is trusted.
+  std::uint64_t latency_min_samples = 8;
+
   /// Balancer-actuator pacing (only read when enable_balancer): a switch is
   /// admitted at most once per `balancer_dwell_epochs` epochs (on top of the
   /// governor's confirm/cooldown), and at most `balancer_max_switches` times

@@ -32,4 +32,14 @@ void check_scheduler_quiescent(const sched::Scheduler& s) {
              "invariant: queued-task walk disagrees with the size counters");
 }
 
+void check_admission_ledger(std::uint64_t generated, std::uint64_t admitted,
+                            std::uint64_t completed) {
+  COOL_CHECK(admitted == generated,
+             "invariant: admission ledger dropped or duplicated arrivals "
+             "(admitted != generated)");
+  COOL_CHECK(completed == admitted,
+             "invariant: admission ledger lost or duplicated completions "
+             "(completed != admitted)");
+}
+
 }  // namespace cool::analysis

@@ -37,4 +37,11 @@ void check_scheduler_concurrent(const sched::Scheduler& s);
 /// concurrent scheduler mutation (engines call this after their run loops).
 void check_scheduler_quiescent(const sched::Scheduler& s);
 
+/// Open-loop admission conservation (the load::Driver ledger): every
+/// generated request admitted exactly once, every admitted request completed
+/// exactly once. Quiescent-only (call after the run). Throws util::Error
+/// naming the first violated equality.
+void check_admission_ledger(std::uint64_t generated, std::uint64_t admitted,
+                            std::uint64_t completed);
+
 }  // namespace cool::analysis

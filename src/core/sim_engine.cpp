@@ -1,6 +1,7 @@
 #include "core/sim_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "adaptive/engine.hpp"
 #include "analysis/invariants.hpp"
@@ -10,6 +11,15 @@
 #include "core/sync.hpp"
 
 namespace cool {
+
+namespace {
+/// See total_sim_cycles() — one add per run() keeps this off the hot path.
+std::atomic<std::uint64_t> g_total_sim_cycles{0};
+}  // namespace
+
+std::uint64_t total_sim_cycles() noexcept {
+  return g_total_sim_cycles.load(std::memory_order_relaxed);
+}
 
 SimEngine::SimEngine(const topo::MachineConfig& machine,
                      const sched::Policy& policy, const CostModel& costs,
@@ -335,6 +345,9 @@ void SimEngine::run(TaskFn&& root) {
   COOL_CHECK(root.valid(), "run of empty TaskFn");
   running_ = true;
 
+  std::uint64_t clocks_at_entry = 0;
+  for (const Proc& pr : procs_) clocks_at_entry += pr.clock;
+
   auto* rec = new TaskRecord;
   rec->handle = root.release();
   rec->desc.aff = Affinity::none();
@@ -363,7 +376,13 @@ void SimEngine::run(TaskFn&& root) {
   }
 
   finish_time_ = 0;
-  for (const Proc& pr : procs_) finish_time_ = std::max(finish_time_, pr.clock);
+  std::uint64_t clocks_at_exit = 0;
+  for (const Proc& pr : procs_) {
+    finish_time_ = std::max(finish_time_, pr.clock);
+    clocks_at_exit += pr.clock;
+  }
+  g_total_sim_cycles.fetch_add(clocks_at_exit - clocks_at_entry,
+                               std::memory_order_relaxed);
   runq_.clear();
   for (auto& pr : procs_) {
     pr.current = nullptr;

@@ -34,6 +34,14 @@ class AdaptiveEngine;
 
 namespace cool {
 
+/// Process-wide total of simulated processor-cycles executed by every
+/// SimEngine::run() so far (sum over processors of clock advance). The
+/// bench harness divides its delta by wall time to report `sim_rate` —
+/// simulated cycles per wall-second, the simulator-speed trajectory metric.
+/// Monotone, atomic, and zero-cost on the simulation path (updated once per
+/// run, not per event).
+[[nodiscard]] std::uint64_t total_sim_cycles() noexcept;
+
 /// Per-processor utilisation, reported after a run.
 struct ProcUtil {
   std::uint64_t busy = 0;   ///< Cycles spent executing tasks.

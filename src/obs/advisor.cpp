@@ -92,6 +92,16 @@ Advice render(const advisor::Finding& f) {
           "rebalance: more/smaller tasks, or weaker PROCESSOR pinning so the "
           "scheduler can move work";
       break;
+    case AdviceKind::kLatencyTarget:
+      // Online-only rule: the offline advisor never emits it (it needs the
+      // adaptive engine's per-epoch latency sensor), but render it anyway so
+      // a decision log replayed through the advisor formats cleanly.
+      a.diagnosis = fmt("request p99 latency above the adaptation target on "
+                        "'%s'", f.subject.c_str());
+      a.suggestion =
+          "relax affinity (steal_object_tasks) or escalate the balancer so "
+          "queued requests spread off the hot home";
+      break;
   }
   return a;
 }

@@ -18,6 +18,8 @@ const char* advice_kind_name(AdviceKind k) {
       return "steal-storm";
     case AdviceKind::kIdleImbalance:
       return "idle-imbalance";
+    case AdviceKind::kLatencyTarget:
+      return "latency-target";
   }
   return "?";
 }

@@ -26,6 +26,7 @@ enum class AdviceKind : std::uint8_t {
   kWholeSetStealing, ///< Enable Policy::steal_whole_sets.
   kStealStorm,       ///< Steal scans mostly fail: work starvation.
   kIdleImbalance,    ///< Processors idle a large fraction of the span.
+  kLatencyTarget,    ///< Request p99 above AdaptPolicy::latency_target_cycles.
 };
 const char* advice_kind_name(AdviceKind k);
 

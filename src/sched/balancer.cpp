@@ -78,13 +78,26 @@ void ReserveBalancer::refresh_locked() {
 topo::ProcId ReserveBalancer::least_loaded_member(
     topo::ClusterId c, const std::deque<ServerQueues>& queues) const {
   const std::vector<topo::ProcId> members = topo::cluster_members(machine_, c);
-  topo::ProcId best = members.front();
-  std::size_t best_sz = queues[best].size();
+  // reserve_exclude_mask hides processors whose queue length lies about
+  // their availability (a serving front-end: the pump occupies the
+  // processor without being queued on it). If every member is masked the
+  // mask is ignored — stranding the reservation would be worse.
+  const std::uint64_t mask = policy_.reserve_exclude_mask;
+  auto excluded = [&](topo::ProcId m) {
+    return m < 64 && ((mask >> m) & 1u) != 0;
+  };
+  bool all_masked = true;
+  for (const topo::ProcId m : members) all_masked = all_masked && excluded(m);
+  topo::ProcId best = topo::ProcId(0);
+  std::size_t best_sz = 0;
+  bool have = false;
   for (const topo::ProcId m : members) {
+    if (!all_masked && excluded(m)) continue;
     const std::size_t sz = queues[m].size();
-    if (sz < best_sz) {  // strict: ties go to the lowest id (determinism)
+    if (!have || sz < best_sz) {  // strict: ties go to the lowest id
       best = m;
       best_sz = sz;
+      have = true;
     }
   }
   return best;

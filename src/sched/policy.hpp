@@ -55,6 +55,14 @@ struct Policy {
   /// kReserve only: refresh the data-hotness reservation table every this
   /// many placements (the profiler's heat evolves during the run).
   std::uint32_t reserve_refresh_tasks = 64;
+  /// Bitmask of processors the Reserve balancer must not redirect work to
+  /// (bit p = processor p). Serving workloads set the front-end bit: the
+  /// admission pump occupies its processor without sitting in its queue, so
+  /// by queue length alone the front-end looks permanently idle and Reserve
+  /// would bury it in redirected requests — which then starve admission.
+  /// Tasks explicitly homed or pinned there are unaffected; only Reserve's
+  /// least-loaded redirect skips the masked processors.
+  std::uint64_t reserve_exclude_mask = 0;
 };
 
 /// Reject meaningless Policy flag combinations with a clear error instead of

@@ -1,0 +1,130 @@
+// txn serving app: conservation, determinism, skew shape, and the
+// hints-off degenerate mode.
+#include "apps/txn/txn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace cool::apps::txn {
+namespace {
+
+Runtime make_rt(std::uint32_t procs, const Config& cfg) {
+  SystemConfig sc;
+  sc.machine = topo::MachineConfig::dash(procs);
+  sc.policy = policy_for(cfg);
+  return Runtime(sc);
+}
+
+Config small_cfg() {
+  Config cfg;
+  cfg.warehouses = 7;  // multiple of P-1 serving procs at P=8
+  cfg.districts = 2;
+  cfg.items = 32;
+  cfg.lines = 3;
+  cfg.arrivals.rate_per_kcycle = 4.0;
+  cfg.arrivals.n_requests = 256;
+  return cfg;
+}
+
+TEST(Txn, ConservesOrdersAndStock) {
+  // run() itself COOL_CHECKs the stock ledger against the order lines and
+  // the admission ledger; this test asserts the surfaced totals agree too.
+  const Config cfg = small_cfg();
+  Runtime rt = make_rt(8, cfg);
+  const Result r = run(rt, cfg);
+  EXPECT_EQ(r.orders, cfg.arrivals.n_requests);
+  EXPECT_EQ(r.ledger.generated, cfg.arrivals.n_requests);
+  EXPECT_EQ(r.ledger.completed, cfg.arrivals.n_requests);
+  EXPECT_EQ(r.latency.count(), cfg.arrivals.n_requests);
+  EXPECT_GT(r.stock_moved, 0u);
+}
+
+TEST(Txn, RunsAreDeterministic) {
+  const Config cfg = small_cfg();
+  Runtime rt1 = make_rt(8, cfg);
+  const Result a = run(rt1, cfg);
+  Runtime rt2 = make_rt(8, cfg);
+  const Result b = run(rt2, cfg);
+  EXPECT_EQ(a.stock_moved, b.stock_moved);
+  EXPECT_EQ(a.hot_requests, b.hot_requests);
+  EXPECT_EQ(a.latency.sum(), b.latency.sum());
+  EXPECT_EQ(a.latency.max(), b.latency.max());
+  EXPECT_EQ(a.run.sched.steals, b.run.sched.steals);
+}
+
+TEST(Txn, KeySeedChangesThePicksButNotTheTotals) {
+  Config cfg = small_cfg();
+  Runtime rt1 = make_rt(8, cfg);
+  const Result a = run(rt1, cfg);
+  cfg.key_seed ^= 0xdead;
+  Runtime rt2 = make_rt(8, cfg);
+  const Result b = run(rt2, cfg);
+  EXPECT_EQ(a.orders, b.orders);
+  EXPECT_NE(a.stock_moved, b.stock_moved);  // different order lines drawn
+}
+
+TEST(Txn, ZipfSkewConcentratesOnTheHotWarehouse) {
+  Config uniform = small_cfg();
+  uniform.theta = 0.0;
+  Runtime rt1 = make_rt(8, uniform);
+  const Result u = run(rt1, uniform);
+
+  Config skewed = small_cfg();
+  skewed.theta = 1.2;
+  Runtime rt2 = make_rt(8, skewed);
+  const Result s = run(rt2, skewed);
+
+  // Uniform: ~1/W of requests hit warehouse rank 0. theta=1.2 concentrates
+  // several times that on the hot warehouse.
+  const double n = static_cast<double>(uniform.arrivals.n_requests);
+  EXPECT_LT(static_cast<double>(u.hot_requests), 0.35 * n);
+  EXPECT_GT(static_cast<double>(s.hot_requests),
+            2.0 * static_cast<double>(u.hot_requests));
+}
+
+TEST(Txn, SkewInflatesTheTail) {
+  // Same offered load; hot-warehouse concentration must cost tail latency
+  // under the default stealing policy (this is the effect abl_srv_skew and
+  // the adaptive latency objective exist to measure and fix).
+  Config uniform = small_cfg();
+  uniform.arrivals.n_requests = 512;
+  uniform.arrivals.rate_per_kcycle = 5.0;
+  Config skewed = uniform;
+  skewed.theta = 1.2;
+  Runtime rt1 = make_rt(8, uniform);
+  const Result u = run(rt1, uniform);
+  Runtime rt2 = make_rt(8, skewed);
+  const Result s = run(rt2, skewed);
+  EXPECT_GT(s.latency.quantile(0.99), u.latency.quantile(0.99));
+}
+
+TEST(Txn, HintsOffStillConserves) {
+  Config cfg = small_cfg();
+  cfg.hints = false;
+  Runtime rt = make_rt(8, cfg);
+  const Result r = run(rt, cfg);
+  EXPECT_EQ(r.orders, cfg.arrivals.n_requests);
+}
+
+TEST(Txn, SingleProcessorDegenerates) {
+  // Everything (front-end + serving) on one processor: still conserves,
+  // just slowly.
+  Config cfg = small_cfg();
+  cfg.arrivals.n_requests = 64;
+  Runtime rt = make_rt(1, cfg);
+  const Result r = run(rt, cfg);
+  EXPECT_EQ(r.orders, 64u);
+}
+
+TEST(Txn, MeasurementIntervalShrinksTheMeasuredSet) {
+  Config cfg = small_cfg();
+  cfg.measure_from_cycles = 10000;
+  Runtime rt = make_rt(8, cfg);
+  const Result r = run(rt, cfg);
+  EXPECT_LT(r.latency.count(), cfg.arrivals.n_requests);
+  EXPECT_GT(r.latency.count(), 0u);
+}
+
+}  // namespace
+}  // namespace cool::apps::txn
